@@ -1,0 +1,532 @@
+//! Bracha's asynchronous ⌊(n−1)/3⌋-resilient binary consensus (PODC
+//! 1984) — the first baseline of the paper's evaluation.
+//!
+//! Every logical message is sent through [`ReliableBroadcast`], which is
+//! what gives the protocol its O(n³) message complexity and prevents
+//! Byzantine equivocation. Rounds have three steps:
+//!
+//! 1. broadcast `(k, 1, v)`; await `n − f` valid step-1 messages; adopt
+//!    the majority value.
+//! 2. broadcast `(k, 2, v)`; await `n − f`; if more than `n/2` carry the
+//!    same `w`, adopt `w`, else adopt `⊥` (no super-majority witnessed).
+//! 3. broadcast `(k, 3, v)`; await `n − f`; with at least `2f + 1`
+//!    non-`⊥` `w`: **decide** `w`; with at least `f + 1`: adopt `w`;
+//!    otherwise flip the local coin.
+//!
+//! Messages carry no signatures (the channels are authenticated — IPSec
+//! AH in the paper, per-link HMAC in the reproduction's adapter), but a
+//! *validation* filter discards values a correct process could not have
+//! computed (Bracha's "validated messages"; see `Bracha::is_valid` in the
+//! source).
+//! Validation is monotone in delivered evidence, so rejected messages
+//! are kept pending and re-examined as evidence accumulates.
+
+use crate::rbc::{RbcMessage, ReliableBroadcast, Tag};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A step value: a binary value or `⊥` (step 3 only).
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
+pub enum StepValue {
+    /// Binary 0.
+    Zero,
+    /// Binary 1.
+    One,
+    /// No super-majority witnessed (legal only in step 3).
+    Null,
+}
+
+impl StepValue {
+    fn from_bit(bit: bool) -> StepValue {
+        if bit {
+            StepValue::One
+        } else {
+            StepValue::Zero
+        }
+    }
+
+    fn as_bit(self) -> Option<bool> {
+        match self {
+            StepValue::Zero => Some(false),
+            StepValue::One => Some(true),
+            StepValue::Null => None,
+        }
+    }
+
+    fn encode(self) -> u8 {
+        match self {
+            StepValue::Zero => 0,
+            StepValue::One => 1,
+            StepValue::Null => 2,
+        }
+    }
+
+    fn decode(byte: u8) -> Option<StepValue> {
+        match byte {
+            0 => Some(StepValue::Zero),
+            1 => Some(StepValue::One),
+            2 => Some(StepValue::Null),
+            _ => None,
+        }
+    }
+
+    /// The opposite binary value (used by the evaluation's Byzantine
+    /// strategy); `Null` maps to itself.
+    pub fn flipped(self) -> StepValue {
+        match self {
+            StepValue::Zero => StepValue::One,
+            StepValue::One => StepValue::Zero,
+            StepValue::Null => StepValue::Null,
+        }
+    }
+}
+
+/// Output of feeding one network message to the engine.
+#[derive(Debug, Default)]
+pub struct BrachaOutput {
+    /// Wire messages to send to every process (via the reliable
+    /// point-to-point transport).
+    pub send: Vec<Bytes>,
+    /// Set when this call made the process decide.
+    pub newly_decided: Option<bool>,
+}
+
+#[derive(Debug, Default)]
+struct RoundState {
+    /// Validated step values per step (1-3), per sender.
+    accepted: [HashMap<usize, StepValue>; 3],
+    /// Steps already advanced past.
+    fired: [bool; 3],
+}
+
+/// One process's Bracha consensus engine.
+#[derive(Debug)]
+pub struct Bracha {
+    n: usize,
+    f: usize,
+    me: usize,
+    rbc: ReliableBroadcast,
+    round: u32,
+    step: u8,
+    value: StepValue,
+    decision: Option<bool>,
+    rounds: HashMap<u32, RoundState>,
+    /// Delivered-but-not-yet-valid messages, re-examined as evidence
+    /// grows.
+    pending: Vec<(Tag, StepValue)>,
+    rng: StdRng,
+    /// Total RBC deliveries (diagnostics).
+    deliveries: u64,
+}
+
+impl Bracha {
+    /// Creates the engine for process `me`, proposing `proposal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `3f < n` and `me < n`.
+    pub fn new(n: usize, f: usize, me: usize, proposal: bool, seed: u64) -> Self {
+        Bracha {
+            n,
+            f,
+            me,
+            rbc: ReliableBroadcast::new(n, f, me),
+            round: 1,
+            step: 1,
+            value: StepValue::from_bit(proposal),
+            decision: None,
+            rounds: HashMap::new(),
+            pending: Vec::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0xb2ac_4a84),
+            deliveries: 0,
+        }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> usize {
+        self.me
+    }
+
+    /// Current round.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Current step within the round (1–3).
+    pub fn step(&self) -> u8 {
+        self.step
+    }
+
+    /// The decision, once reached.
+    pub fn decision(&self) -> Option<bool> {
+        self.decision
+    }
+
+    /// Total reliable-broadcast deliveries so far.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Starts the protocol: broadcast the round-1 step-1 value.
+    pub fn on_start(&mut self) -> BrachaOutput {
+        let mut out = BrachaOutput::default();
+        self.send_current(&mut out);
+        out
+    }
+
+    /// Processes a wire message from link-layer sender `from`.
+    pub fn on_message(&mut self, from: usize, bytes: &[u8]) -> BrachaOutput {
+        let mut out = BrachaOutput::default();
+        let Some(msg) = RbcMessage::decode(bytes) else {
+            return out;
+        };
+        let rbc_out = self.rbc.on_message(from, &msg);
+        for m in rbc_out.send {
+            out.send.push(m.encode());
+        }
+        for (tag, payload) in rbc_out.deliver {
+            self.deliveries += 1;
+            if payload.len() != 1 {
+                continue;
+            }
+            let Some(value) = StepValue::decode(payload[0]) else {
+                continue;
+            };
+            if tag.step < 1 || tag.step > 3 {
+                continue;
+            }
+            // Null is legal only in step 3.
+            if value == StepValue::Null && tag.step != 3 {
+                continue;
+            }
+            self.pending.push((tag, value));
+        }
+        self.drain_pending(&mut out);
+        out
+    }
+
+    /// Moves pending messages that have become valid into the accepted
+    /// sets and fires any step transitions, to fixpoint.
+    fn drain_pending(&mut self, out: &mut BrachaOutput) {
+        loop {
+            let mut progressed = false;
+            let mut still_pending = Vec::new();
+            for (tag, value) in std::mem::take(&mut self.pending) {
+                if self.is_valid(tag, value) {
+                    let rs = self.rounds.entry(tag.round).or_default();
+                    rs.accepted[(tag.step - 1) as usize]
+                        .entry(tag.origin)
+                        .or_insert(value);
+                    progressed = true;
+                } else {
+                    still_pending.push((tag, value));
+                }
+            }
+            self.pending = still_pending;
+            while self.try_fire(out) {
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Bracha's message validation: would a correct process ever send
+    /// this? Monotone in accepted evidence.
+    fn is_valid(&self, tag: Tag, value: StepValue) -> bool {
+        let majority_feasible = |round: u32, step: usize, v: StepValue, threshold: usize| {
+            self.rounds
+                .get(&round)
+                .map(|rs| {
+                    rs.accepted[step - 1]
+                        .values()
+                        .filter(|&&x| x == v)
+                        .count()
+                        >= threshold
+                })
+                .unwrap_or(false)
+        };
+        match tag.step {
+            1 => {
+                if tag.round == 1 {
+                    return true; // initial proposals are free
+                }
+                // A round-(k) step-1 binary value must have appeared in
+                // round k−1 step 3 (adoption), or a coin flip must have
+                // been plausible (some ⊥ witnessed there).
+                majority_feasible(tag.round - 1, 3, value, 1)
+                    || majority_feasible(tag.round - 1, 3, StepValue::Null, 1)
+            }
+            2 => {
+                // The claimed majority value must be held by a majority
+                // of some (n−f)-subset: at least ⌊(n−f)/2⌋+1 step-1
+                // senders must (eventually) carry it.
+                majority_feasible(tag.round, 1, value, (self.n - self.f) / 2 + 1)
+            }
+            3 => match value {
+                // A binary step-3 value claims a > n/2 step-2 majority.
+                StepValue::Zero | StepValue::One => {
+                    majority_feasible(tag.round, 2, value, self.n / 2 + 1)
+                }
+                // ⊥ claims the absence of a super-majority. A correct
+                // ⊥-sender accepted n−f step-2 messages with no value
+                // above n/2, which forces at least one of *each* value in
+                // its view — evidence that must eventually reach us too.
+                // (Monotone, and it bars Byzantine ⊥ in unanimous runs.)
+                StepValue::Null => {
+                    majority_feasible(tag.round, 2, StepValue::Zero, 1)
+                        && majority_feasible(tag.round, 2, StepValue::One, 1)
+                }
+            },
+            _ => false,
+        }
+    }
+
+    /// Fires the current step's transition if its quorum is ready.
+    fn try_fire(&mut self, out: &mut BrachaOutput) -> bool {
+        let round = self.round;
+        let step = self.step;
+        let need = self.n - self.f;
+        let rs = self.rounds.entry(round).or_default();
+        if rs.fired[(step - 1) as usize] {
+            return false;
+        }
+        let accepted = &rs.accepted[(step - 1) as usize];
+        if accepted.len() < need {
+            return false;
+        }
+        rs.fired[(step - 1) as usize] = true;
+        let values: Vec<StepValue> = accepted.values().copied().collect();
+        let count = |v: StepValue| values.iter().filter(|&&x| x == v).count();
+        match step {
+            1 => {
+                // Majority value (ties to One, mirroring the Turquois
+                // tie-break for comparability).
+                self.value = if count(StepValue::Zero) > count(StepValue::One) {
+                    StepValue::Zero
+                } else {
+                    StepValue::One
+                };
+                self.step = 2;
+            }
+            2 => {
+                let w = [StepValue::Zero, StepValue::One]
+                    .into_iter()
+                    .find(|&v| 2 * count(v) > self.n);
+                self.value = w.unwrap_or(StepValue::Null);
+                self.step = 3;
+            }
+            _ => {
+                let zero = count(StepValue::Zero);
+                let one = count(StepValue::One);
+                let (best, best_count) = if zero > one {
+                    (StepValue::Zero, zero)
+                } else {
+                    (StepValue::One, one)
+                };
+                if best_count >= 2 * self.f + 1 {
+                    if self.decision.is_none() {
+                        self.decision = best.as_bit();
+                        out.newly_decided = self.decision;
+                    }
+                    self.value = best;
+                } else if best_count >= self.f + 1 {
+                    self.value = best;
+                } else {
+                    self.value = StepValue::from_bit(self.rng.gen_bool(0.5));
+                }
+                self.step = 1;
+                self.round += 1;
+                // GC: evidence older than the previous round is dead.
+                if self.round > 2 {
+                    let floor = self.round - 2;
+                    self.rounds.retain(|&r, _| r >= floor);
+                    self.rbc.prune_rounds_below(floor);
+                    self.pending.retain(|(t, _)| t.round >= floor);
+                }
+            }
+        }
+        self.send_current(out);
+        true
+    }
+
+    fn send_current(&mut self, out: &mut BrachaOutput) {
+        let payload = Bytes::copy_from_slice(&[self.value.encode()]);
+        let rbc_out = self.rbc.broadcast(self.round, self.step, payload);
+        for m in rbc_out.send {
+            out.send.push(m.encode());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Lossless full-information network: every sent message reaches
+    /// every process (including the sender). Returns decisions.
+    fn run_lossless(engines: &mut [Bracha], max_iters: usize) -> Vec<Option<bool>> {
+        let n = engines.len();
+        let mut queue: Vec<(usize, Bytes)> = Vec::new();
+        for e in engines.iter_mut() {
+            let out = e.on_start();
+            let me = e.id();
+            queue.extend(out.send.into_iter().map(|b| (me, b)));
+        }
+        let mut iters = 0;
+        while let Some((from, bytes)) = queue.pop() {
+            iters += 1;
+            if iters > max_iters {
+                panic!("message budget exceeded — likely livelock");
+            }
+            for to in 0..n {
+                let out = engines[to].on_message(from, &bytes);
+                queue.extend(out.send.into_iter().map(|b| (to, b)));
+            }
+            if engines.iter().all(|e| e.decision().is_some()) {
+                break;
+            }
+        }
+        engines.iter().map(|e| e.decision()).collect()
+    }
+
+    fn group(n: usize, f: usize, proposals: &[bool], seed: u64) -> Vec<Bracha> {
+        (0..n)
+            .map(|me| Bracha::new(n, f, me, proposals[me % proposals.len()], seed + me as u64))
+            .collect()
+    }
+
+    #[test]
+    fn unanimous_decides_proposed_value() {
+        for bit in [false, true] {
+            let mut engines = group(4, 1, &[bit], 1);
+            let decisions = run_lossless(&mut engines, 2_000_000);
+            assert!(
+                decisions.iter().all(|d| *d == Some(bit)),
+                "bit={bit}: {decisions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn divergent_proposals_agree() {
+        for seed in 0..4u64 {
+            let mut engines = group(4, 1, &[true, false], seed * 7);
+            let decisions = run_lossless(&mut engines, 5_000_000);
+            let first = decisions[0].expect("lossless run decides");
+            assert!(
+                decisions.iter().all(|d| *d == Some(first)),
+                "seed={seed}: {decisions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_group_unanimous() {
+        let mut engines = group(7, 2, &[true], 3);
+        let decisions = run_lossless(&mut engines, 5_000_000);
+        assert!(decisions.iter().all(|d| *d == Some(true)));
+    }
+
+    #[test]
+    fn crashed_minority_does_not_block() {
+        // f = 1 process silent from the start (n = 4): the rest decide.
+        let mut engines = group(4, 1, &[true], 9);
+        let n = 4;
+        let mut queue: Vec<(usize, Bytes)> = Vec::new();
+        for e in engines.iter_mut().take(3) {
+            let out = e.on_start();
+            let me = e.id();
+            queue.extend(out.send.into_iter().map(|b| (me, b)));
+        }
+        let mut iters = 0;
+        while let Some((from, bytes)) = queue.pop() {
+            iters += 1;
+            assert!(iters < 2_000_000, "livelock");
+            for to in 0..n - 1 {
+                // process 3 crashed: receives nothing
+                let out = engines[to].on_message(from, &bytes);
+                queue.extend(out.send.into_iter().map(|b| (to, b)));
+            }
+            if engines[..3].iter().all(|e| e.decision().is_some()) {
+                break;
+            }
+        }
+        assert!(engines[..3].iter().all(|e| e.decision() == Some(true)));
+    }
+
+    #[test]
+    fn byzantine_value_flip_cannot_break_unanimous_validity() {
+        // n = 4, f = 1. Process 3 is Byzantine: it reliably-broadcasts
+        // the flipped value at steps 1 and 2, ⊥ at step 3 (the paper's
+        // §7.2 strategy). Correct processes all propose `true` and must
+        // decide `true`.
+        let n = 4;
+        let f = 1;
+        let mut engines: Vec<Bracha> = (0..3).map(|me| Bracha::new(n, f, me, true, me as u64)).collect();
+        // The Byzantine node runs its own RBC engine to participate in
+        // echo/ready (it wants its lies delivered).
+        let mut evil_rbc = ReliableBroadcast::new(n, f, 3);
+        let mut queue: Vec<(usize, Bytes)> = Vec::new();
+        for e in engines.iter_mut() {
+            let out = e.on_start();
+            let me = e.id();
+            queue.extend(out.send.into_iter().map(|b| (me, b)));
+        }
+        // Byzantine lies for round 1 (it stays in round 1; that is the
+        // worst it can do for a unanimous round-1 decision).
+        for (step, value) in [
+            (1u8, StepValue::Zero), // flipped
+            (2, StepValue::Zero),   // flipped
+            (3, StepValue::Null),
+        ] {
+            let out = evil_rbc.broadcast(1, step, Bytes::copy_from_slice(&[value.encode()]));
+            queue.extend(out.send.into_iter().map(|m| (3usize, m.encode())));
+        }
+        let mut iters = 0;
+        while let Some((from, bytes)) = queue.pop() {
+            iters += 1;
+            assert!(iters < 2_000_000, "livelock");
+            // Correct processes receive everything; the Byzantine node's
+            // RBC engine also participates (echoes/readies).
+            if let Some(msg) = RbcMessage::decode(&bytes) {
+                let out = evil_rbc.on_message(from, &msg);
+                queue.extend(out.send.into_iter().map(|m| (3usize, m.encode())));
+            }
+            for to in 0..3 {
+                let out = engines[to].on_message(from, &bytes);
+                queue.extend(out.send.into_iter().map(|b| (to, b)));
+            }
+            if engines.iter().all(|e| e.decision().is_some()) {
+                break;
+            }
+        }
+        for e in &engines {
+            assert_eq!(e.decision(), Some(true), "validity must hold");
+        }
+    }
+
+    #[test]
+    fn step_value_helpers() {
+        assert_eq!(StepValue::from_bit(true), StepValue::One);
+        assert_eq!(StepValue::One.as_bit(), Some(true));
+        assert_eq!(StepValue::Null.as_bit(), None);
+        assert_eq!(StepValue::Zero.flipped(), StepValue::One);
+        assert_eq!(StepValue::Null.flipped(), StepValue::Null);
+        assert_eq!(StepValue::decode(3), None);
+        for v in [StepValue::Zero, StepValue::One, StepValue::Null] {
+            assert_eq!(StepValue::decode(v.encode()), Some(v));
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_ignored() {
+        let mut e = Bracha::new(4, 1, 0, true, 1);
+        let out = e.on_message(1, b"garbage");
+        assert!(out.send.is_empty());
+        assert_eq!(out.newly_decided, None);
+    }
+}

@@ -1,0 +1,70 @@
+//! Simulator micro-benchmarks: event throughput of the 802.11b medium
+//! and the full stack (host wall-clock — how fast the reproduction can
+//! grind through experiments).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use wireless_net::frame::ReceivedFrame;
+use wireless_net::sim::{Application, NodeCtx, SimConfig, Simulator};
+use wireless_net::time::SimTime;
+
+/// An app that rebroadcasts every 10 ms forever.
+struct Chatterbox;
+
+impl Application for Chatterbox {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.broadcast(Bytes::from_static(&[0u8; 64]), 36);
+        ctx.set_timer(std::time::Duration::from_millis(10), 1);
+    }
+    fn on_frame(&mut self, _ctx: &mut NodeCtx<'_>, _frame: ReceivedFrame) {}
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: u64) {
+        ctx.broadcast(Bytes::from_static(&[0u8; 64]), 36);
+        ctx.set_timer(std::time::Duration::from_millis(10), 1);
+    }
+}
+
+fn bench_medium(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for n in [4usize, 16] {
+        group.bench_function(format!("one_sim_second_{n}_broadcasters"), |b| {
+            b.iter(|| {
+                let apps: Vec<Box<dyn Application>> = (0..n)
+                    .map(|_| Box::new(Chatterbox) as Box<dyn Application>)
+                    .collect();
+                let mut sim = Simulator::without_faults(
+                    SimConfig {
+                        seed: 7,
+                        ..SimConfig::default()
+                    },
+                    apps,
+                );
+                sim.run_until(SimTime::from_millis(1000), |_| false);
+                std::hint::black_box(sim.stats().frames_sent())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_consensus(c: &mut Criterion) {
+    use turquois_harness::{Protocol, Scenario};
+    let mut group = c.benchmark_group("host_cost_per_consensus");
+    group.sample_size(20);
+    for protocol in [Protocol::Turquois, Protocol::Abba] {
+        group.bench_function(format!("{}_n7", protocol.name()), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let outcome = Scenario::new(protocol, 7)
+                    .seed(seed)
+                    .run_once()
+                    .expect("valid scenario");
+                std::hint::black_box(outcome.decided_correct())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_medium, bench_full_consensus);
+criterion_main!(benches);

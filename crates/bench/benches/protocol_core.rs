@@ -1,0 +1,82 @@
+//! Protocol-engine micro-benchmarks: the per-message cost of the
+//! Turquois pipeline (decode → authenticate → semantically validate →
+//! state transition) and the baseline engines, on the host CPU.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use turquois_baselines::abba::{Abba, AbbaKeys};
+use turquois_baselines::bracha::Bracha;
+use turquois_core::config::Config;
+use turquois_core::instance::Turquois;
+use turquois_core::KeyRing;
+
+fn bench_turquois_on_message(c: &mut Criterion) {
+    let cfg = Config::evaluation(7).expect("valid");
+    let rings = KeyRing::trusted_setup(7, 60, 3);
+    let mut procs: Vec<Turquois> = rings
+        .into_iter()
+        .enumerate()
+        .map(|(i, ring)| Turquois::new(cfg, i, true, ring, i as u64))
+        .collect();
+    // Pre-generate a bare phase-1 message from process 1.
+    let msg = procs[1].on_tick().expect("keys cover phase").bytes;
+
+    c.bench_function("turquois_on_message_fresh", |b| {
+        b.iter_batched(
+            || {
+                let rings = KeyRing::trusted_setup(7, 60, 3);
+                let ring0 = rings.into_iter().next().expect("ring 0");
+                Turquois::new(cfg, 0, true, ring0, 0)
+            },
+            |mut p| {
+                std::hint::black_box(p.on_message(&msg));
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("turquois_on_message_duplicate", |b| {
+        let rings = KeyRing::trusted_setup(7, 60, 3);
+        let ring0 = rings.into_iter().next().expect("ring 0");
+        let mut p = Turquois::new(cfg, 0, true, ring0, 0);
+        p.on_message(&msg);
+        b.iter(|| std::hint::black_box(p.on_message(&msg)))
+    });
+    c.bench_function("turquois_on_tick", |b| {
+        let rings = KeyRing::trusted_setup(7, 60, 3);
+        let ring0 = rings.into_iter().next().expect("ring 0");
+        let mut p = Turquois::new(cfg, 0, true, ring0, 0);
+        b.iter(|| std::hint::black_box(p.on_tick().expect("keys cover phase")))
+    });
+}
+
+fn bench_bracha_on_message(c: &mut Criterion) {
+    let mut sender = Bracha::new(7, 2, 1, true, 5);
+    let initial = sender.on_start().send.remove(0);
+    c.bench_function("bracha_on_message_initial", |b| {
+        b.iter_batched(
+            || Bracha::new(7, 2, 0, true, 1),
+            |mut p| std::hint::black_box(p.on_message(1, &initial)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_abba_on_message(c: &mut Criterion) {
+    let keys = AbbaKeys::trusted_setup(7, 2, 9);
+    let mut sender = Abba::new(7, 2, 1, true, keys[1].clone(), 5);
+    let prevote = sender.on_start().send.remove(0);
+    c.bench_function("abba_on_message_prevote", |b| {
+        b.iter_batched(
+            || Abba::new(7, 2, 0, true, keys[0].clone(), 1),
+            |mut p| std::hint::black_box(p.on_message(1, &prevote)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_turquois_on_message,
+    bench_bracha_on_message,
+    bench_abba_on_message
+);
+criterion_main!(benches);

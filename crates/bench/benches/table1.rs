@@ -1,0 +1,58 @@
+//! Criterion bench regenerating Table 1 (failure-free latency).
+//!
+//! Each benchmark iteration runs one full consensus in the simulator
+//! with a fresh seed and reports the **simulated** decision latency via
+//! `iter_custom` — so Criterion's mean/CI estimates correspond directly
+//! to the paper's table cells (milliseconds of protocol latency, not
+//! host wall-clock). Run with `cargo bench -p turquois-bench --bench
+//! table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use turquois_harness::{Protocol, ProposalDistribution, Scenario};
+
+fn simulated_latency(scenario: &Scenario, seed: u64) -> Duration {
+    let outcome = scenario
+        .clone()
+        .seed(seed)
+        .run_once()
+        .expect("valid scenario");
+    assert!(outcome.agreement_holds() && outcome.validity_holds());
+    Duration::from_secs_f64(outcome.mean_latency_ms().unwrap_or(0.0) / 1e3)
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_failure_free");
+    group.sample_size(10);
+    for &n in &[4usize, 7, 10, 13, 16] {
+        for (protocol, max_n) in [
+            (Protocol::Turquois, 16),
+            (Protocol::Abba, 10),
+            (Protocol::Bracha, 7),
+        ] {
+            if n > max_n {
+                continue; // keep bench wall-clock sane; the harness bins cover the full grid
+            }
+            for dist in [ProposalDistribution::Unanimous, ProposalDistribution::Divergent] {
+                let scenario = Scenario::new(protocol, n).proposals(dist);
+                let id = BenchmarkId::new(
+                    format!("{}_{}", protocol.name(), dist.name()),
+                    n,
+                );
+                group.bench_function(id, |b| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for i in 0..iters {
+                            total += simulated_latency(&scenario, 0xB1 + i);
+                        }
+                        total
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

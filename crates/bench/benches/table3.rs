@@ -1,0 +1,53 @@
+//! Criterion bench regenerating Table 3 (Byzantine latency): simulated
+//! decision latency with `f = ⌊(n−1)/3⌋` processes running the §7.2
+//! attack strategies. See `table1.rs` for the `iter_custom` convention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use turquois_harness::{FaultLoad, Protocol, ProposalDistribution, Scenario};
+
+fn simulated_latency(scenario: &Scenario, seed: u64) -> Duration {
+    let outcome = scenario
+        .clone()
+        .seed(seed)
+        .run_once()
+        .expect("valid scenario");
+    assert!(outcome.agreement_holds() && outcome.validity_holds());
+    Duration::from_secs_f64(outcome.mean_latency_ms().unwrap_or(0.0) / 1e3)
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_byzantine");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    for &n in &[4usize, 7, 10, 13, 16] {
+        for (protocol, max_n) in [
+            (Protocol::Turquois, 16),
+            (Protocol::Abba, 10),
+            (Protocol::Bracha, 4),
+        ] {
+            if n > max_n {
+                continue;
+            }
+            for dist in [ProposalDistribution::Unanimous, ProposalDistribution::Divergent] {
+                let scenario = Scenario::new(protocol, n)
+                    .proposals(dist)
+                    .fault_load(FaultLoad::Byzantine);
+                let id = BenchmarkId::new(format!("{}_{}", protocol.name(), dist.name()), n);
+                group.bench_function(id, |b| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for i in 0..iters {
+                            total += simulated_latency(&scenario, 0xB3 + i);
+                        }
+                        total
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark crate for the Turquois reproduction (see `benches/`).

@@ -1,0 +1,95 @@
+//! The local-coin abstraction (`coin_i()` of Algorithm 1).
+//!
+//! Turquois is a *local coin* protocol in the tradition of Ben-Or: each
+//! process flips private, unbiased bits, as opposed to the shared coin of
+//! ABBA. The trait exists so deterministic test doubles can replace
+//! randomness in protocol tests.
+
+use rand::Rng;
+use rand::RngCore;
+
+/// A source of unbiased private random bits.
+pub trait Coin {
+    /// Flips the coin.
+    fn flip(&mut self) -> bool;
+}
+
+/// A coin backed by any RNG.
+#[derive(Clone, Debug)]
+pub struct RngCoin<R> {
+    rng: R,
+}
+
+impl<R: RngCore> RngCoin<R> {
+    /// Wraps `rng` as a coin.
+    pub fn new(rng: R) -> Self {
+        RngCoin { rng }
+    }
+}
+
+impl<R: RngCore> Coin for RngCoin<R> {
+    fn flip(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+}
+
+/// A scripted coin for deterministic tests; cycles through its script.
+#[derive(Clone, Debug)]
+pub struct ScriptedCoin {
+    script: Vec<bool>,
+    at: usize,
+}
+
+impl ScriptedCoin {
+    /// Creates a coin that yields `script` values cyclically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty script.
+    pub fn new(script: Vec<bool>) -> Self {
+        assert!(!script.is_empty(), "script must not be empty");
+        ScriptedCoin { script, at: 0 }
+    }
+
+    /// Number of flips consumed so far.
+    pub fn flips(&self) -> usize {
+        self.at
+    }
+}
+
+impl Coin for ScriptedCoin {
+    fn flip(&mut self) -> bool {
+        let v = self.script[self.at % self.script.len()];
+        self.at += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rng_coin_is_roughly_fair() {
+        let mut coin = RngCoin::new(StdRng::seed_from_u64(7));
+        let heads = (0..10_000).filter(|_| coin.flip()).count();
+        assert!((4_500..=5_500).contains(&heads), "{heads} heads");
+    }
+
+    #[test]
+    fn scripted_coin_cycles() {
+        let mut coin = ScriptedCoin::new(vec![true, false]);
+        assert!(coin.flip());
+        assert!(!coin.flip());
+        assert!(coin.flip());
+        assert_eq!(coin.flips(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn scripted_coin_rejects_empty() {
+        let _ = ScriptedCoin::new(vec![]);
+    }
+}

@@ -1,0 +1,416 @@
+//! The message set `V_i` and its evidence companion.
+//!
+//! Algorithm 1 accumulates *valid* arriving messages in a set `V_i` and
+//! drives every state transition from counts over that set. Two details
+//! matter for a faithful, Byzantine-safe implementation:
+//!
+//! * **Counting is per sender.** A Byzantine process holds one-time keys
+//!   for every value, so it can *equivocate* — sign both `0` and `1` in
+//!   the same phase. Counting raw messages would let `f` Byzantine
+//!   processes weigh like `2f`; counting distinct senders per criterion
+//!   keeps the quorum-intersection arguments intact (two `> (n+f)/2`
+//!   sender-quorums intersect in more than `f` senders, hence in a
+//!   correct process).
+//! * **Sets, not multisets.** A correct process rebroadcasts the same
+//!   state every clock tick; duplicates must not inflate counts.
+//!
+//! The same structure backs both stores kept by a process (see
+//! `validation`): the semantically-validated `V_i` that drives
+//! transitions, and the authentic-evidence store used by the §6.2
+//! semantic checks and for building justifications.
+
+use crate::message::{Envelope, Status};
+use std::collections::BTreeMap;
+use turquois_crypto::otss::{OneTimeSignature, Value};
+
+/// One stored record: the distinct content a sender put in a phase.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct Record {
+    /// The proposal value.
+    pub value: Value,
+    /// Coin-provenance flag.
+    pub coin_flip: bool,
+    /// Decision status.
+    pub status: Status,
+    /// The one-time signature authenticating `(phase, value)`.
+    pub signature: OneTimeSignature,
+}
+
+impl Record {
+    /// Reassembles the envelope for `sender` at `phase`.
+    pub fn to_envelope(self, sender: usize, phase: u32) -> Envelope {
+        Envelope {
+            sender,
+            phase,
+            value: self.value,
+            coin_flip: self.coin_flip,
+            status: self.status,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct PhaseSlot {
+    /// `senders[s]` holds the distinct records sender `s` produced in
+    /// this phase (bounded: ≤ 3 values × 2 coin flags × 2 statuses).
+    senders: Vec<Vec<Record>>,
+}
+
+impl PhaseSlot {
+    fn new(n: usize) -> Self {
+        PhaseSlot {
+            senders: vec![Vec::new(); n],
+        }
+    }
+}
+
+/// A phase-indexed, sender-deduplicated message set.
+#[derive(Clone, Debug)]
+pub struct MessageStore {
+    n: usize,
+    phases: BTreeMap<u32, PhaseSlot>,
+}
+
+impl MessageStore {
+    /// Creates an empty store for `n` processes.
+    pub fn new(n: usize) -> Self {
+        MessageStore {
+            n,
+            phases: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts a message. Returns `true` if it was new (not an exact
+    /// duplicate of a stored record).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `envelope.sender >= n` (the wire decoder enforces this
+    /// upstream).
+    pub fn insert(&mut self, envelope: &Envelope, signature: OneTimeSignature) -> bool {
+        assert!(envelope.sender < self.n, "sender out of range");
+        let slot = self
+            .phases
+            .entry(envelope.phase)
+            .or_insert_with(|| PhaseSlot::new(self.n));
+        let records = &mut slot.senders[envelope.sender];
+        let record = Record {
+            value: envelope.value,
+            coin_flip: envelope.coin_flip,
+            status: envelope.status,
+            signature,
+        };
+        // Duplicate = same observable content. (Signatures for the same
+        // (phase, value) are identical by construction.)
+        if records
+            .iter()
+            .any(|r| r.value == record.value && r.coin_flip == record.coin_flip && r.status == record.status)
+        {
+            return false;
+        }
+        records.push(record);
+        true
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distinct senders with at least one message at `phase`.
+    pub fn count_phase(&self, phase: u32) -> usize {
+        self.phases
+            .get(&phase)
+            .map(|s| s.senders.iter().filter(|r| !r.is_empty()).count())
+            .unwrap_or(0)
+    }
+
+    /// Distinct senders with at least one message `(phase, value)`.
+    pub fn count_value(&self, phase: u32, value: Value) -> usize {
+        self.phases
+            .get(&phase)
+            .map(|s| {
+                s.senders
+                    .iter()
+                    .filter(|recs| recs.iter().any(|r| r.value == value))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether `sender` has any message at `phase`.
+    pub fn has_sender(&self, phase: u32, sender: usize) -> bool {
+        self.phases
+            .get(&phase)
+            .is_some_and(|s| !s.senders[sender].is_empty())
+    }
+
+    /// Whether `sender` sent `(phase, value)`.
+    pub fn has_sender_value(&self, phase: u32, sender: usize, value: Value) -> bool {
+        self.phases
+            .get(&phase)
+            .is_some_and(|s| s.senders[sender].iter().any(|r| r.value == value))
+    }
+
+    /// The best catch-up candidate: a record with phase strictly above
+    /// `above`, from the **highest** such phase (lowest sender, first
+    /// record as deterministic tie-breaks). Returns
+    /// `(phase, sender, record)`.
+    pub fn best_catch_up(&self, above: u32) -> Option<(u32, usize, Record)> {
+        let (&phase, slot) = self.phases.range(above + 1..).next_back()?;
+        for (sender, records) in slot.senders.iter().enumerate() {
+            if let Some(rec) = records.first() {
+                return Some((phase, sender, *rec));
+            }
+        }
+        None
+    }
+
+    /// The value in `{0, 1}` held by the most distinct senders at
+    /// `phase`; ties break to `One`. Returns `Zero` when the phase is
+    /// empty (callers only invoke this after a quorum check).
+    pub fn majority_value(&self, phase: u32) -> Value {
+        let zeros = self.count_value(phase, Value::Zero);
+        let ones = self.count_value(phase, Value::One);
+        if zeros > ones {
+            Value::Zero
+        } else {
+            Value::One
+        }
+    }
+
+    /// The binary value present at `phase` with the most senders, if any
+    /// sender sent a binary value at all (Algorithm 1, line 32).
+    pub fn any_binary_value(&self, phase: u32) -> Option<Value> {
+        let zeros = self.count_value(phase, Value::Zero);
+        let ones = self.count_value(phase, Value::One);
+        if zeros == 0 && ones == 0 {
+            None
+        } else if zeros > ones {
+            Some(Value::Zero)
+        } else {
+            Some(Value::One)
+        }
+    }
+
+    /// Collects up to `limit` messages at `phase` (one per sender,
+    /// ascending sender order), optionally restricted to `value`. Used to
+    /// build justification bundles.
+    pub fn collect(
+        &self,
+        phase: u32,
+        value: Option<Value>,
+        limit: usize,
+    ) -> Vec<(Envelope, OneTimeSignature)> {
+        let mut out = Vec::new();
+        let Some(slot) = self.phases.get(&phase) else {
+            return out;
+        };
+        for (sender, records) in slot.senders.iter().enumerate() {
+            if out.len() >= limit {
+                break;
+            }
+            let rec = match value {
+                Some(v) => records.iter().find(|r| r.value == v),
+                None => records.first(),
+            };
+            if let Some(rec) = rec {
+                out.push((rec.to_envelope(sender, phase), rec.signature));
+            }
+        }
+        out
+    }
+
+    /// Iterates over the DECIDE phases (`φ mod 3 = 0`) currently stored,
+    /// ascending.
+    pub fn decide_phases(&self) -> impl Iterator<Item = u32> + '_ {
+        self.phases.keys().copied().filter(|p| p % 3 == 0)
+    }
+
+    /// The greatest LOCK phase (`φ mod 3 = 2`) strictly below `phase`
+    /// (independent of store contents).
+    pub fn lock_phase_below(phase: u32) -> Option<u32> {
+        // Phases: 1=CONVERGE, 2=LOCK, 3=DECIDE, 4=CONVERGE, …
+        (1..phase).rev().find(|p| p % 3 == 2)
+    }
+
+    /// Drops all phases strictly below `min_phase` (garbage collection).
+    pub fn prune_below(&mut self, min_phase: u32) {
+        self.phases = self.phases.split_off(&min_phase);
+    }
+
+    /// Lowest phase retained, if non-empty.
+    pub fn min_phase(&self) -> Option<u32> {
+        self.phases.keys().next().copied()
+    }
+
+    /// Total stored records (for tests and memory diagnostics).
+    pub fn record_count(&self) -> usize {
+        self.phases
+            .values()
+            .map(|s| s.senders.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turquois_crypto::sha256::DIGEST_LEN;
+
+    fn sig(b: u8) -> OneTimeSignature {
+        OneTimeSignature([b; DIGEST_LEN])
+    }
+
+    fn env(sender: usize, phase: u32, value: Value) -> Envelope {
+        Envelope {
+            sender,
+            phase,
+            value,
+            coin_flip: false,
+            status: Status::Undecided,
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_counts() {
+        let mut s = MessageStore::new(4);
+        assert!(s.insert(&env(0, 1, Value::One), sig(1)));
+        assert!(!s.insert(&env(0, 1, Value::One), sig(1)));
+        assert_eq!(s.count_phase(1), 1);
+        assert_eq!(s.count_value(1, Value::One), 1);
+        assert_eq!(s.record_count(), 1);
+    }
+
+    #[test]
+    fn equivocation_counts_once_per_value_once_per_phase() {
+        let mut s = MessageStore::new(4);
+        assert!(s.insert(&env(2, 1, Value::Zero), sig(1)));
+        assert!(s.insert(&env(2, 1, Value::One), sig(2)));
+        // Phase count: the sender is present once.
+        assert_eq!(s.count_phase(1), 1);
+        // Value counts: present for each value it signed.
+        assert_eq!(s.count_value(1, Value::Zero), 1);
+        assert_eq!(s.count_value(1, Value::One), 1);
+    }
+
+    #[test]
+    fn counts_across_senders() {
+        let mut s = MessageStore::new(5);
+        for sender in 0..4 {
+            s.insert(&env(sender, 2, Value::One), sig(sender as u8));
+        }
+        s.insert(&env(4, 2, Value::Zero), sig(9));
+        assert_eq!(s.count_phase(2), 5);
+        assert_eq!(s.count_value(2, Value::One), 4);
+        assert_eq!(s.count_value(2, Value::Zero), 1);
+        assert_eq!(s.count_phase(3), 0);
+    }
+
+    #[test]
+    fn best_catch_up_prefers_highest_phase() {
+        let mut s = MessageStore::new(4);
+        s.insert(&env(1, 3, Value::One), sig(1));
+        s.insert(&env(2, 7, Value::Zero), sig(2));
+        s.insert(&env(3, 5, Value::One), sig(3));
+        let (phase, sender, rec) = s.best_catch_up(1).expect("candidates exist");
+        assert_eq!((phase, sender), (7, 2));
+        assert_eq!(rec.value, Value::Zero);
+        assert!(s.best_catch_up(7).is_none());
+        let (phase, _, _) = s.best_catch_up(5).expect("phase 7 qualifies");
+        assert_eq!(phase, 7);
+    }
+
+    #[test]
+    fn majority_and_tiebreak() {
+        let mut s = MessageStore::new(5);
+        s.insert(&env(0, 1, Value::Zero), sig(0));
+        s.insert(&env(1, 1, Value::Zero), sig(1));
+        s.insert(&env(2, 1, Value::One), sig(2));
+        assert_eq!(s.majority_value(1), Value::Zero);
+        s.insert(&env(3, 1, Value::One), sig(3));
+        // Tie 2–2 breaks to One.
+        assert_eq!(s.majority_value(1), Value::One);
+        assert_eq!(s.any_binary_value(1), Some(Value::One));
+        assert_eq!(s.any_binary_value(9), None);
+    }
+
+    #[test]
+    fn any_binary_value_ignores_bot() {
+        let mut s = MessageStore::new(4);
+        s.insert(&env(0, 3, Value::Bot), sig(0));
+        assert_eq!(s.any_binary_value(3), None);
+        s.insert(&env(1, 3, Value::Zero), sig(1));
+        assert_eq!(s.any_binary_value(3), Some(Value::Zero));
+    }
+
+    #[test]
+    fn collect_one_per_sender_with_filter() {
+        let mut s = MessageStore::new(4);
+        s.insert(&env(0, 2, Value::One), sig(0));
+        s.insert(&env(1, 2, Value::Zero), sig(1));
+        s.insert(&env(1, 2, Value::One), sig(2)); // equivocator
+        s.insert(&env(3, 2, Value::One), sig(3));
+        let ones = s.collect(2, Some(Value::One), 10);
+        assert_eq!(ones.len(), 3);
+        assert!(ones.iter().all(|(e, _)| e.value == Value::One));
+        let capped = s.collect(2, None, 2);
+        assert_eq!(capped.len(), 2);
+        assert!(s.collect(5, None, 10).is_empty());
+    }
+
+    #[test]
+    fn prune_below_drops_old_phases() {
+        let mut s = MessageStore::new(3);
+        for phase in 1..=10 {
+            s.insert(&env(0, phase, Value::One), sig(phase as u8));
+        }
+        s.prune_below(7);
+        assert_eq!(s.min_phase(), Some(7));
+        assert_eq!(s.count_phase(6), 0);
+        assert_eq!(s.count_phase(7), 1);
+        assert_eq!(s.record_count(), 4);
+    }
+
+    #[test]
+    fn lock_phase_below_formula() {
+        assert_eq!(MessageStore::lock_phase_below(4), Some(2));
+        assert_eq!(MessageStore::lock_phase_below(6), Some(5));
+        assert_eq!(MessageStore::lock_phase_below(7), Some(5));
+        assert_eq!(MessageStore::lock_phase_below(8), Some(5));
+        assert_eq!(MessageStore::lock_phase_below(9), Some(8));
+        assert_eq!(MessageStore::lock_phase_below(2), None);
+        assert_eq!(MessageStore::lock_phase_below(1), None);
+    }
+
+    #[test]
+    fn decide_phases_iterates_stored_mod3_zero() {
+        let mut s = MessageStore::new(2);
+        for phase in [1u32, 3, 4, 6, 8, 9] {
+            if phase % 3 == 0 {
+                s.insert(&env(0, phase, Value::Bot), sig(0));
+            } else {
+                s.insert(&env(0, phase, Value::One), sig(0));
+            }
+        }
+        let decides: Vec<u32> = s.decide_phases().collect();
+        assert_eq!(decides, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn has_sender_queries() {
+        let mut s = MessageStore::new(3);
+        s.insert(&env(1, 4, Value::Zero), sig(0));
+        assert!(s.has_sender(4, 1));
+        assert!(!s.has_sender(4, 0));
+        assert!(s.has_sender_value(4, 1, Value::Zero));
+        assert!(!s.has_sender_value(4, 1, Value::One));
+    }
+
+    #[test]
+    #[should_panic(expected = "sender out of range")]
+    fn insert_rejects_out_of_range_sender() {
+        let mut s = MessageStore::new(2);
+        s.insert(&env(5, 1, Value::One), sig(0));
+    }
+}

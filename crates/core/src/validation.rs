@@ -1,0 +1,553 @@
+//! Semantic validation of messages (paper §6.2).
+//!
+//! Authenticity validation (§6.1, see [`crate::keyring`]) proves that
+//! `(φ, v)` originated at the claimed sender; semantic validation proves
+//! that the claim is *congruent with the execution* — that enough earlier
+//! messages exist to justify the phase, the value, and the status. This
+//! is what confines Byzantine lies: a compromised process may only send
+//! states that some correct execution could have produced.
+//!
+//! Evidence is counted over an *authentic-evidence store* (every
+//! correctly-signed message seen, including justification attachments)
+//! plus the attachments of the message currently being validated
+//! ([`EvidenceView`]). Thresholds are the paper's: `> (n+f)/2` (quorum)
+//! and `> ((n+f)/2)/2` (half-quorum), in exact integer arithmetic. Every
+//! threshold's minimum exceeds `f`, so evidence fabricated exclusively by
+//! Byzantine processes can never satisfy a check — each satisfied check
+//! names at least one correct process that genuinely sent the claimed
+//! message.
+
+use crate::config::Config;
+use crate::message::{Envelope, Status};
+use crate::store::MessageStore;
+use std::collections::BTreeSet;
+use std::fmt;
+use turquois_crypto::otss::{bot_legal_at, OneTimeSignature, Value};
+
+/// Why a message failed semantic validation.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum RejectReason {
+    /// `⊥` appeared in a phase where it is not a legal proposal.
+    BotIllegalHere,
+    /// The coin-provenance flag was set outside a CONVERGE phase.
+    CoinFlagOutsideConverge,
+    /// No quorum of phase `φ − 1` messages justifies the phase.
+    PhaseUnjustified,
+    /// The proposal value lacks its required evidence.
+    ValueUnjustified,
+    /// `decided` claimed at phase ≤ 3 (impossible) or without a decide
+    /// quorum.
+    DecidedUnjustified,
+    /// `undecided` claimed past phase 3 without divergence evidence.
+    UndecidedUnjustified,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RejectReason::BotIllegalHere => "⊥ illegal at this phase",
+            RejectReason::CoinFlagOutsideConverge => "coin flag outside CONVERGE phase",
+            RejectReason::PhaseUnjustified => "phase not justified by a quorum",
+            RejectReason::ValueUnjustified => "value not justified",
+            RejectReason::DecidedUnjustified => "decided status not justified",
+            RejectReason::UndecidedUnjustified => "undecided status not justified",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// Evidence = the persistent authentic store plus the attachments of the
+/// message under validation, with senders deduplicated across both.
+pub struct EvidenceView<'a> {
+    store: &'a MessageStore,
+    extra: &'a [(Envelope, OneTimeSignature)],
+}
+
+impl<'a> EvidenceView<'a> {
+    /// Creates a view over `store` extended by `extra` attachments
+    /// (already authenticity-checked by the caller).
+    pub fn new(store: &'a MessageStore, extra: &'a [(Envelope, OneTimeSignature)]) -> Self {
+        EvidenceView { store, extra }
+    }
+
+    /// Distinct senders with any message at `phase`.
+    pub fn count_phase(&self, phase: u32) -> usize {
+        let mut count = self.store.count_phase(phase);
+        let mut seen = BTreeSet::new();
+        for (env, _) in self.extra {
+            if env.phase == phase
+                && !self.store.has_sender(phase, env.sender)
+                && seen.insert(env.sender)
+            {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Distinct senders with a `(phase, value)` message.
+    pub fn count_value(&self, phase: u32, value: Value) -> usize {
+        let mut count = self.store.count_value(phase, value);
+        let mut seen = BTreeSet::new();
+        for (env, _) in self.extra {
+            if env.phase == phase
+                && env.value == value
+                && !self.store.has_sender_value(phase, env.sender, value)
+                && seen.insert(env.sender)
+            {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// DECIDE phases (`mod 3 = 0`) strictly below `limit` present in
+    /// either evidence source, ascending.
+    fn decide_phases_below(&self, limit: u32) -> Vec<u32> {
+        let mut phases: BTreeSet<u32> = self.store.decide_phases().filter(|&p| p < limit).collect();
+        for (env, _) in self.extra {
+            if env.phase % 3 == 0 && env.phase < limit {
+                phases.insert(env.phase);
+            }
+        }
+        phases.into_iter().collect()
+    }
+}
+
+/// Validates `env` semantically against the evidence.
+///
+/// # Errors
+///
+/// Returns the first [`RejectReason`] encountered, checking structure,
+/// then phase, then value, then status — mirroring §6.2's independent
+/// per-variable validation.
+pub fn semantic_check(
+    env: &Envelope,
+    cfg: &Config,
+    view: &EvidenceView<'_>,
+) -> Result<(), RejectReason> {
+    structure_ok(env)?;
+    phase_ok(env, cfg, view)?;
+    value_ok(env, cfg, view)?;
+    status_ok(env, cfg, view)
+}
+
+fn structure_ok(env: &Envelope) -> Result<(), RejectReason> {
+    if env.value == Value::Bot && !bot_legal_at(env.phase) {
+        return Err(RejectReason::BotIllegalHere);
+    }
+    if env.coin_flip && env.phase % 3 != 1 {
+        return Err(RejectReason::CoinFlagOutsideConverge);
+    }
+    Ok(())
+}
+
+fn phase_ok(env: &Envelope, cfg: &Config, view: &EvidenceView<'_>) -> Result<(), RejectReason> {
+    // "The phase value φ requires more than (n+f)/2 messages of the form
+    // ⟨*, φ−1, *, *⟩."
+    if env.phase == 1 || cfg.exceeds_quorum(view.count_phase(env.phase - 1)) {
+        Ok(())
+    } else {
+        Err(RejectReason::PhaseUnjustified)
+    }
+}
+
+fn value_ok(env: &Envelope, cfg: &Config, view: &EvidenceView<'_>) -> Result<(), RejectReason> {
+    // "Messages with phase value φ = 1 are the only that do not require
+    // validation."
+    if env.phase == 1 {
+        return Ok(());
+    }
+    let ok = match env.phase % 3 {
+        // LOCK: v justified by more than half a quorum at φ−1.
+        2 => cfg.exceeds_half_quorum(view.count_value(env.phase - 1, env.value)),
+        // DECIDE: a binary v needs a quorum at φ−1; ⊥ needs half-quorums
+        // of both binary values at φ−2.
+        0 => match env.value {
+            Value::Bot => {
+                cfg.exceeds_half_quorum(view.count_value(env.phase - 2, Value::Zero))
+                    && cfg.exceeds_half_quorum(view.count_value(env.phase - 2, Value::One))
+            }
+            v => cfg.exceeds_quorum(view.count_value(env.phase - 1, v)),
+        },
+        // CONVERGE (φ > 1): deterministic values need a quorum carrying v
+        // at φ−2; coin values need a quorum of ⊥ at φ−1.
+        _ => {
+            if env.coin_flip {
+                cfg.exceeds_quorum(view.count_value(env.phase - 1, Value::Bot))
+            } else {
+                cfg.exceeds_quorum(view.count_value(env.phase - 2, env.value))
+            }
+        }
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(RejectReason::ValueUnjustified)
+    }
+}
+
+fn status_ok(env: &Envelope, cfg: &Config, view: &EvidenceView<'_>) -> Result<(), RejectReason> {
+    match env.status {
+        Status::Decided => {
+            // "Any message with phase φ ≤ 3 must necessarily carry value
+            // undecided because no process can decide prior to phase 3."
+            if env.phase <= 3 {
+                return Err(RejectReason::DecidedUnjustified);
+            }
+            let Some(_) = env.value.as_bit() else {
+                return Err(RejectReason::DecidedUnjustified);
+            };
+            // "status = decided (and value v) requires more than (n+f)/2
+            // messages of the form ⟨*, φ, v, *⟩ where φ mod 3 = 0."
+            let justified = view
+                .decide_phases_below(env.phase)
+                .into_iter()
+                .any(|psi| cfg.exceeds_quorum(view.count_value(psi, env.value)));
+            if justified {
+                Ok(())
+            } else {
+                Err(RejectReason::DecidedUnjustified)
+            }
+        }
+        // `undecided` is always accepted. The paper (§6.2) asks for
+        // half-quorums of both values at the latest LOCK phase, but read
+        // literally that rejects legitimate messages in benign
+        // histories: e.g. when proposals diverge, re-unify at a coin
+        // round, and a process then stands at a DECIDE+1 phase still
+        // undecided — no divergence evidence exists at the latest LOCK,
+        // yet the state is honest, and rejecting it deadlocks the round.
+        // The rule's purpose — neutralizing the status-replay attack of
+        // §6.1 — is entirely about forged `decided` claims, which the
+        // strict branch above still blocks. Downgrading a replayed
+        // message's status to `undecided` is harmless: an adopter merely
+        // keeps executing and decides through the normal path. See
+        // DESIGN.md §5.
+        Status::Undecided => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turquois_crypto::sha256::DIGEST_LEN;
+
+    fn cfg() -> Config {
+        // n=4, f=1: quorum ≥ 3, half-quorum ≥ 2.
+        Config::new(4, 1, 3).expect("valid")
+    }
+
+    fn sig(b: u8) -> OneTimeSignature {
+        OneTimeSignature([b; DIGEST_LEN])
+    }
+
+    fn env(sender: usize, phase: u32, value: Value) -> Envelope {
+        Envelope {
+            sender,
+            phase,
+            value,
+            coin_flip: false,
+            status: Status::Undecided,
+        }
+    }
+
+    fn store_with(entries: &[(usize, u32, Value)]) -> MessageStore {
+        let mut s = MessageStore::new(4);
+        for &(sender, phase, value) in entries {
+            s.insert(&env(sender, phase, value), sig(sender as u8));
+        }
+        s
+    }
+
+    fn check(e: &Envelope, s: &MessageStore) -> Result<(), RejectReason> {
+        semantic_check(e, &cfg(), &EvidenceView::new(s, &[]))
+    }
+
+    #[test]
+    fn phase_one_always_valid() {
+        let s = MessageStore::new(4);
+        assert_eq!(check(&env(0, 1, Value::Zero), &s), Ok(()));
+        assert_eq!(check(&env(3, 1, Value::One), &s), Ok(()));
+    }
+
+    #[test]
+    fn bot_rejected_outside_decide_phases() {
+        let s = MessageStore::new(4);
+        assert_eq!(
+            check(&env(0, 1, Value::Bot), &s),
+            Err(RejectReason::BotIllegalHere)
+        );
+        assert_eq!(
+            check(&env(0, 2, Value::Bot), &s),
+            Err(RejectReason::BotIllegalHere)
+        );
+    }
+
+    #[test]
+    fn coin_flag_rejected_outside_converge() {
+        let s = MessageStore::new(4);
+        let mut e = env(0, 2, Value::One);
+        e.coin_flip = true;
+        assert_eq!(check(&e, &s), Err(RejectReason::CoinFlagOutsideConverge));
+    }
+
+    #[test]
+    fn phase_requires_previous_quorum() {
+        // Phase 2 message with only 2 senders at phase 1: rejected.
+        let s = store_with(&[(0, 1, Value::One), (1, 1, Value::One)]);
+        assert_eq!(
+            check(&env(0, 2, Value::One), &s),
+            Err(RejectReason::PhaseUnjustified)
+        );
+        // With 3 senders it passes (value also justified: half-quorum of
+        // 1s at phase 1 is 2 < 3 present).
+        let s = store_with(&[(0, 1, Value::One), (1, 1, Value::One), (2, 1, Value::One)]);
+        assert_eq!(check(&env(0, 2, Value::One), &s), Ok(()));
+    }
+
+    #[test]
+    fn lock_value_needs_half_quorum() {
+        // Quorum at phase 1 but only one sender proposed 0: a LOCK
+        // message carrying 0 is a lie.
+        let s = store_with(&[(0, 1, Value::Zero), (1, 1, Value::One), (2, 1, Value::One)]);
+        assert_eq!(
+            check(&env(3, 2, Value::Zero), &s),
+            Err(RejectReason::ValueUnjustified)
+        );
+        assert_eq!(check(&env(3, 2, Value::One), &s), Ok(()));
+    }
+
+    #[test]
+    fn decide_binary_value_needs_lock_quorum() {
+        let mut entries = vec![];
+        for sender in 0..4 {
+            entries.push((sender, 1, Value::One));
+        }
+        // Only 2 senders locked One: quorum (3) not met for the value.
+        entries.push((0, 2, Value::One));
+        entries.push((1, 2, Value::One));
+        entries.push((2, 2, Value::Zero));
+        let s = store_with(&entries);
+        assert_eq!(
+            check(&env(0, 3, Value::One), &s),
+            Err(RejectReason::ValueUnjustified)
+        );
+        // A third One-lock fixes it.
+        let mut s = s;
+        s.insert(&env(3, 2, Value::One), sig(3));
+        assert_eq!(check(&env(0, 3, Value::One), &s), Ok(()));
+    }
+
+    #[test]
+    fn decide_bot_needs_divergence_at_converge() {
+        let mut entries = vec![];
+        // Divergent phase 1: two 0s, two 1s.
+        entries.push((0, 1, Value::Zero));
+        entries.push((1, 1, Value::Zero));
+        entries.push((2, 1, Value::One));
+        entries.push((3, 1, Value::One));
+        // Locks at phase 2 (any mix reaching quorum count).
+        entries.push((0, 2, Value::Zero));
+        entries.push((1, 2, Value::Zero));
+        entries.push((2, 2, Value::One));
+        let s = store_with(&entries);
+        assert_eq!(check(&env(0, 3, Value::Bot), &s), Ok(()));
+
+        // Unanimous phase 1: ⊥ at phase 3 is a lie.
+        let s = store_with(&[
+            (0, 1, Value::One),
+            (1, 1, Value::One),
+            (2, 1, Value::One),
+            (3, 1, Value::One),
+            (0, 2, Value::One),
+            (1, 2, Value::One),
+            (2, 2, Value::One),
+        ]);
+        assert_eq!(
+            check(&env(0, 3, Value::Bot), &s),
+            Err(RejectReason::ValueUnjustified)
+        );
+    }
+
+    #[test]
+    fn converge_deterministic_needs_lock_quorum_two_back() {
+        // Uniform history: quorum locked One at 2, quorum of One at 3 —
+        // so a phase-4 (CONVERGE) deterministic One from a *decided*
+        // process validates, while a deterministic Zero is a lie.
+        let s = store_with(&[
+            (0, 2, Value::One),
+            (1, 2, Value::One),
+            (2, 2, Value::One),
+            (0, 3, Value::One),
+            (1, 3, Value::One),
+            (2, 3, Value::One),
+        ]);
+        let mut e = env(3, 4, Value::One);
+        e.status = Status::Decided; // undecided at 4 would itself be a lie here
+        assert_eq!(check(&e, &s), Ok(()));
+        let mut e0 = env(3, 4, Value::Zero);
+        e0.status = Status::Decided;
+        assert_eq!(check(&e0, &s), Err(RejectReason::ValueUnjustified));
+    }
+
+    #[test]
+    fn converge_coin_value_needs_bot_quorum() {
+        // Divergent history: split proposals, split locks, ⊥ quorum at
+        // the DECIDE phase — the canonical coin round.
+        let s = store_with(&[
+            (0, 1, Value::Zero),
+            (1, 1, Value::Zero),
+            (2, 1, Value::One),
+            (3, 1, Value::One),
+            (0, 2, Value::Zero),
+            (1, 2, Value::Zero),
+            (2, 2, Value::One),
+            (3, 2, Value::One),
+            (0, 3, Value::Bot),
+            (1, 3, Value::Bot),
+            (2, 3, Value::Bot),
+        ]);
+        let mut e = env(3, 4, Value::Zero);
+        e.coin_flip = true;
+        assert_eq!(check(&e, &s), Ok(()));
+        // Without the coin flag the same value needs a ⟨2, Zero⟩ quorum
+        // (only 2 senders): rejected.
+        let e_det = env(3, 4, Value::Zero);
+        assert_eq!(check(&e_det, &s), Err(RejectReason::ValueUnjustified));
+    }
+
+    #[test]
+    fn decided_rejected_at_or_below_phase_three() {
+        let s = store_with(&[
+            (0, 1, Value::One),
+            (1, 1, Value::One),
+            (2, 1, Value::One),
+        ]);
+        let mut e = env(0, 2, Value::One);
+        e.status = Status::Decided;
+        assert_eq!(check(&e, &s), Err(RejectReason::DecidedUnjustified));
+    }
+
+    #[test]
+    fn decided_needs_decide_quorum() {
+        // Full unanimous history through phase 3.
+        let mut entries = vec![];
+        for phase in 1..=3u32 {
+            for sender in 0..4usize {
+                entries.push((sender, phase, Value::One));
+            }
+        }
+        let s = store_with(&entries);
+        let mut e = env(0, 4, Value::One);
+        e.status = Status::Decided;
+        assert_eq!(check(&e, &s), Ok(()));
+
+        // Claiming the decision was on Zero fails.
+        let mut e0 = env(0, 4, Value::Zero);
+        e0.status = Status::Decided;
+        // (Value check fails first for Zero; force the point by checking
+        // the status rule on a One-valued but zero-evidence store.)
+        assert!(check(&e0, &s).is_err());
+
+        // Without the phase-3 quorum the decided claim fails.
+        let mut entries = vec![];
+        for phase in 1..=2u32 {
+            for sender in 0..4usize {
+                entries.push((sender, phase, Value::One));
+            }
+        }
+        entries.push((0, 3, Value::One));
+        entries.push((1, 3, Value::One));
+        let s2 = store_with(&entries);
+        let mut e = env(0, 4, Value::One);
+        e.status = Status::Decided;
+        assert_eq!(check(&e, &s2), Err(RejectReason::PhaseUnjustified));
+    }
+
+    #[test]
+    fn decided_with_bot_value_rejected() {
+        // History where a ⊥ at phase 6 is value-justifiable (divergence
+        // at the CONVERGE phase 4) — claiming `decided` with it must
+        // still fail: decisions are always on binary values.
+        let s = store_with(&[
+            (0, 4, Value::Zero),
+            (1, 4, Value::Zero),
+            (2, 4, Value::One),
+            (3, 4, Value::One),
+            (0, 5, Value::Zero),
+            (1, 5, Value::Zero),
+            (2, 5, Value::One),
+        ]);
+        let mut e = env(0, 6, Value::Bot);
+        e.status = Status::Decided;
+        assert_eq!(check(&e, &s), Err(RejectReason::DecidedUnjustified));
+    }
+
+    #[test]
+    fn undecided_accepted_even_past_three() {
+        // `undecided` carries no forgeable advantage (see the module
+        // docs); a phase-4 undecided message with justified phase and
+        // value is accepted even in a unanimous history.
+        let mut entries = vec![];
+        for phase in 1..=3u32 {
+            for sender in 0..4usize {
+                entries.push((sender, phase, Value::One));
+            }
+        }
+        let s = store_with(&entries);
+        let e = env(0, 4, Value::One); // undecided by default
+        assert_eq!(check(&e, &s), Ok(()));
+    }
+
+    #[test]
+    fn evidence_view_merges_extras_with_dedupe() {
+        let s = store_with(&[(0, 1, Value::One)]);
+        let extras = vec![
+            (env(0, 1, Value::One), sig(0)), // duplicate of stored
+            (env(1, 1, Value::One), sig(1)),
+            (env(1, 1, Value::One), sig(1)), // duplicate within extras
+            (env(2, 1, Value::One), sig(2)),
+        ];
+        let view = EvidenceView::new(&s, &extras);
+        assert_eq!(view.count_phase(1), 3);
+        assert_eq!(view.count_value(1, Value::One), 3);
+        assert_eq!(view.count_value(1, Value::Zero), 0);
+    }
+
+    #[test]
+    fn attachments_enable_acceptance() {
+        // Receiver has nothing; sender attaches the phase-1 quorum.
+        let s = MessageStore::new(4);
+        let extras = vec![
+            (env(0, 1, Value::One), sig(0)),
+            (env(1, 1, Value::One), sig(1)),
+            (env(2, 1, Value::One), sig(2)),
+        ];
+        let view = EvidenceView::new(&s, &extras);
+        assert_eq!(
+            semantic_check(&env(0, 2, Value::One), &cfg(), &view),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn byzantine_alone_cannot_justify() {
+        // f = 1: a single Byzantine sender's fabricated evidence never
+        // reaches any threshold.
+        let s = MessageStore::new(4);
+        let extras = vec![(env(3, 1, Value::Zero), sig(3))];
+        let view = EvidenceView::new(&s, &extras);
+        assert_eq!(
+            semantic_check(&env(3, 2, Value::Zero), &cfg(), &view),
+            Err(RejectReason::PhaseUnjustified)
+        );
+    }
+
+    #[test]
+    fn reject_reason_display() {
+        assert!(!RejectReason::PhaseUnjustified.to_string().is_empty());
+        assert!(!RejectReason::BotIllegalHere.to_string().is_empty());
+    }
+}

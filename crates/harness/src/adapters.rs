@@ -1,0 +1,465 @@
+//! Adapters binding the three protocol engines to the `wireless-net`
+//! simulator, reproducing the paper's deployment choices (§7.1):
+//!
+//! * **Turquois** runs over UDP broadcast. A local clock tick fires when
+//!   10 ms passed since the last broadcast **or** the phase value
+//!   changed.
+//! * **Bracha** runs over TCP (the reliable transport) with per-link
+//!   IPSec-AH-style authentication — HMAC-SHA256 with pairwise keys
+//!   here.
+//! * **ABBA** runs over TCP with its own threshold-signature
+//!   authentication; messages are padded to the size they would have
+//!   with RSA-1024 group elements, and every cryptographic operation is
+//!   charged to the node's virtual CPU through the
+//!   [`CostModel`].
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+use turquois_baselines::abba::{Abba, AbbaOutput};
+use turquois_baselines::bracha::{Bracha, BrachaOutput};
+use turquois_core::instance::Turquois;
+use turquois_crypto::cost::CostModel;
+use turquois_crypto::hmac::HmacKey;
+use turquois_crypto::sha256::DIGEST_LEN;
+use wireless_net::config::overhead;
+use wireless_net::frame::ReceivedFrame;
+use wireless_net::reliable::ReliableEndpoint;
+use wireless_net::sim::{Application, NodeCtx};
+
+/// Observations shared between adapters and the experiment driver
+/// (single-threaded simulator ⇒ `Rc<RefCell>`).
+#[derive(Clone, Debug, Default)]
+pub struct RunProbe {
+    /// Protocol phase (Turquois) or round (baselines) at decision time.
+    pub phase_at_decision: Vec<Option<u32>>,
+    /// Messages accepted per node.
+    pub accepted: Vec<u64>,
+    /// Messages rejected (authenticity or semantic validation) per node.
+    pub rejected: Vec<u64>,
+    /// Nodes whose one-time keys ran out (Turquois re-key boundary).
+    pub keys_exhausted: Vec<bool>,
+    /// Last observed protocol phase/round per node (updated continuously).
+    pub final_phase: Vec<u32>,
+}
+
+impl RunProbe {
+    /// Creates a probe for `n` nodes.
+    pub fn new(n: usize) -> SharedProbe {
+        Rc::new(RefCell::new(RunProbe {
+            phase_at_decision: vec![None; n],
+            accepted: vec![0; n],
+            rejected: vec![0; n],
+            keys_exhausted: vec![false; n],
+            final_phase: vec![0; n],
+        }))
+    }
+}
+
+/// Shared handle to a [`RunProbe`].
+pub type SharedProbe = Rc<RefCell<RunProbe>>;
+
+/// The paper's clock-tick interval (§7.1).
+pub const TICK_INTERVAL: Duration = Duration::from_millis(10);
+
+// ---------------------------------------------------------------- turquois
+
+/// Turquois over UDP broadcast.
+pub struct TurquoisApp {
+    instance: Turquois,
+    cost: CostModel,
+    tick: Duration,
+    generation: u64,
+    exhausted: bool,
+    probe: SharedProbe,
+}
+
+impl TurquoisApp {
+    /// Wraps a protocol instance.
+    pub fn new(instance: Turquois, cost: CostModel, probe: SharedProbe) -> Self {
+        TurquoisApp {
+            instance,
+            cost,
+            tick: TICK_INTERVAL,
+            generation: 0,
+            exhausted: false,
+            probe,
+        }
+    }
+
+    /// Read access for post-run inspection.
+    pub fn instance(&self) -> &Turquois {
+        &self.instance
+    }
+
+    /// Overrides the clock-tick interval (paper default: 10 ms). Used by
+    /// the tick-interval ablation.
+    pub fn tick_interval(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    fn broadcast_now(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.exhausted {
+            return;
+        }
+        match self.instance.on_tick() {
+            Ok(out) => {
+                ctx.charge_cpu(self.cost.otss_sign() + self.cost.hash(out.bytes.len()));
+                ctx.broadcast(out.bytes, overhead::UDP);
+            }
+            Err(_) => {
+                self.exhausted = true;
+                self.probe.borrow_mut().keys_exhausted[self.instance.id()] = true;
+                return;
+            }
+        }
+        // Re-arm: only the newest generation's timer broadcasts, so a
+        // phase-change broadcast implicitly resets the 10 ms clock.
+        self.generation += 1;
+        ctx.set_timer(self.tick, self.generation);
+    }
+}
+
+impl Application for TurquoisApp {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.broadcast_now(ctx);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: u64) {
+        if timer == self.generation {
+            self.broadcast_now(ctx);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: ReceivedFrame) {
+        let receipt = self.instance.on_message(&frame.payload);
+        ctx.charge_cpu(
+            self.cost.hash(frame.payload.len())
+                + self.cost.otss_verify(DIGEST_LEN) * receipt.sig_verifications as u32,
+        );
+        {
+            let mut probe = self.probe.borrow_mut();
+            let id = self.instance.id();
+            match receipt.outcome {
+                turquois_core::MessageOutcome::Accepted
+                | turquois_core::MessageOutcome::Duplicate => probe.accepted[id] += 1,
+                _ => probe.rejected[id] += 1,
+            }
+        }
+        self.probe.borrow_mut().final_phase[self.instance.id()] = self.instance.phase();
+        if let Some(v) = receipt.newly_decided {
+            self.probe.borrow_mut().phase_at_decision[self.instance.id()] =
+                Some(self.instance.phase());
+            ctx.decide(v);
+        }
+        if receipt.phase_advanced {
+            // Clock-tick condition (2): the phase value changed.
+            self.broadcast_now(ctx);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ bracha
+
+/// IPSec AH truncates its HMAC ICV to 96 bits; the per-link framing is
+/// `icv(12) ‖ inner`.
+const ICV_LEN: usize = 12;
+
+/// Per-link HMAC framing (IPSec AH stand-in).
+fn mac_wrap(key: &HmacKey, inner: &[u8]) -> Bytes {
+    let tag = key.mac(inner);
+    let mut buf = BytesMut::with_capacity(ICV_LEN + inner.len());
+    buf.put_slice(&tag.as_bytes()[..ICV_LEN]);
+    buf.put_slice(inner);
+    buf.freeze()
+}
+
+fn mac_unwrap<'a>(key: &HmacKey, wrapped: &'a [u8]) -> Option<&'a [u8]> {
+    if wrapped.len() < ICV_LEN {
+        return None;
+    }
+    let (tag, inner) = wrapped.split_at(ICV_LEN);
+    if key.verify_truncated(inner, tag) {
+        Some(inner)
+    } else {
+        None
+    }
+}
+
+/// Derives the pairwise HMAC keys for `me` in a group of `n` from the
+/// pre-distribution seed (the paper establishes IPSec security
+/// associations between every pair before the run).
+pub fn pairwise_keys(me: usize, n: usize, seed: u64) -> Vec<HmacKey> {
+    (0..n)
+        .map(|peer| {
+            let (a, b) = (me.min(peer), me.max(peer));
+            let material = turquois_crypto::sha256::sha256_concat(&[
+                b"turquois-pairwise",
+                &seed.to_be_bytes(),
+                &(a as u64).to_be_bytes(),
+                &(b as u64).to_be_bytes(),
+            ]);
+            HmacKey::from_bytes(material.as_bytes())
+        })
+        .collect()
+}
+
+/// Bracha's protocol over the reliable (TCP-like) transport with
+/// per-link HMAC authentication.
+pub struct BrachaApp {
+    engine: Bracha,
+    transport: ReliableEndpoint,
+    macs: Vec<HmacKey>,
+    cost: CostModel,
+    probe: SharedProbe,
+    /// Optional mutation of outgoing messages (Byzantine strategies).
+    mutate: Option<Box<dyn FnMut(&[u8]) -> Bytes>>,
+    /// Byzantine wrappers suppress decisions (only correct processes
+    /// count toward k).
+    decide_enabled: bool,
+}
+
+impl BrachaApp {
+    /// Wraps an engine; `seed` must match across the group (key
+    /// pre-distribution).
+    pub fn new(engine: Bracha, n: usize, seed: u64, cost: CostModel, probe: SharedProbe) -> Self {
+        let me = engine.id();
+        BrachaApp {
+            engine,
+            transport: ReliableEndpoint::new(me, n),
+            macs: pairwise_keys(me, n, seed),
+            cost,
+            probe,
+            mutate: None,
+            decide_enabled: true,
+        }
+    }
+
+    /// Installs an outgoing-message mutator (used by the Byzantine
+    /// value-flipping strategy of §7.2) and suppresses decisions — a
+    /// Byzantine node never counts toward k.
+    pub fn with_mutation(mut self, mutate: Box<dyn FnMut(&[u8]) -> Bytes>) -> Self {
+        self.mutate = Some(mutate);
+        self.decide_enabled = false;
+        self
+    }
+
+    /// Read access for post-run inspection.
+    pub fn engine(&self) -> &Bracha {
+        &self.engine
+    }
+
+    fn dispatch(&mut self, ctx: &mut NodeCtx<'_>, out: BrachaOutput) {
+        if let Some(v) = out.newly_decided {
+            if self.decide_enabled {
+                self.probe.borrow_mut().phase_at_decision[self.engine.id()] =
+                    Some(self.engine.round());
+                ctx.decide(v);
+            }
+        }
+        for bytes in out.send {
+            let bytes = match &mut self.mutate {
+                Some(m) => m(&bytes),
+                None => bytes,
+            };
+            let n = self.macs.len();
+            for dst in 0..n {
+                // One HMAC per destination link (as IPSec AH would).
+                ctx.charge_cpu(self.cost.hmac(bytes.len()));
+                let wrapped = mac_wrap(&self.macs[dst], &bytes);
+                self.transport.send(ctx, dst, wrapped);
+            }
+        }
+    }
+}
+
+impl Application for BrachaApp {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let out = self.engine.on_start();
+        self.dispatch(ctx, out);
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: ReceivedFrame) {
+        let delivered = self.transport.on_frame(ctx, &frame);
+        for (peer, wrapped) in delivered {
+            ctx.charge_cpu(self.cost.hmac(wrapped.len().saturating_sub(ICV_LEN)));
+            let Some(inner) = mac_unwrap(&self.macs[peer], &wrapped) else {
+                self.probe.borrow_mut().rejected[self.engine.id()] += 1;
+                continue;
+            };
+            self.probe.borrow_mut().accepted[self.engine.id()] += 1;
+            let out = self.engine.on_message(peer, inner);
+            self.dispatch(ctx, out);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: u64) {
+        let _ = self.transport.on_timer(ctx, timer);
+    }
+
+    fn on_unicast_failed(&mut self, ctx: &mut NodeCtx<'_>, dst: usize, payload: Bytes) {
+        self.transport.on_unicast_failed(ctx, dst, payload);
+    }
+}
+
+// -------------------------------------------------------------------- abba
+
+/// Length-prefixed padding so ABBA payloads occupy their RSA-equivalent
+/// size on the air: `len(4) ‖ msg ‖ zeros`.
+pub fn pad_to(inner: &[u8], total: usize) -> Bytes {
+    let body = total.max(inner.len() + 4);
+    let mut buf = BytesMut::with_capacity(body);
+    buf.put_u32(inner.len() as u32);
+    buf.put_slice(inner);
+    buf.resize(body, 0);
+    buf.freeze()
+}
+
+/// Strips [`pad_to`] framing.
+pub fn unpad(padded: &[u8]) -> Option<&[u8]> {
+    if padded.len() < 4 {
+        return None;
+    }
+    let len = u32::from_be_bytes(padded[..4].try_into().ok()?) as usize;
+    padded.get(4..4 + len)
+}
+
+/// ABBA over the reliable transport, with RSA-calibrated CPU charging
+/// and RSA-equivalent message sizes.
+pub struct AbbaApp {
+    engine: Abba,
+    transport: ReliableEndpoint,
+    n: usize,
+    cost: CostModel,
+    probe: SharedProbe,
+}
+
+impl AbbaApp {
+    /// Wraps an engine.
+    pub fn new(engine: Abba, n: usize, cost: CostModel, probe: SharedProbe) -> Self {
+        let me = engine.id();
+        AbbaApp {
+            engine,
+            transport: ReliableEndpoint::new(me, n),
+            n,
+            cost,
+            probe,
+        }
+    }
+
+    /// Read access for post-run inspection.
+    pub fn engine(&self) -> &Abba {
+        &self.engine
+    }
+
+    fn charge(&self, ctx: &mut NodeCtx<'_>, ops: turquois_baselines::abba::CryptoOps) {
+        ctx.charge_cpu(
+            self.cost.threshold_share() * ops.share_signs
+                + self.cost.threshold_share_verify() * ops.share_verifies
+                + self.cost.rsa_verify() * ops.sig_verifies
+                + self.cost.threshold_combine(ops.shares_combined as usize),
+        );
+    }
+
+    fn dispatch(&mut self, ctx: &mut NodeCtx<'_>, out: AbbaOutput) {
+        self.charge(ctx, out.ops);
+        if let Some(v) = out.newly_decided {
+            self.probe.borrow_mut().phase_at_decision[self.engine.id()] =
+                Some(self.engine.round());
+            ctx.decide(v);
+        }
+        for bytes in out.send {
+            let rsa_size = turquois_baselines::abba::AbbaMessage::decode(&bytes)
+                .map(|m| m.rsa_equivalent_size())
+                .unwrap_or(bytes.len());
+            let padded = pad_to(&bytes, rsa_size + 4);
+            for dst in 0..self.n {
+                self.transport.send(ctx, dst, padded.clone());
+            }
+        }
+    }
+
+}
+
+impl Application for AbbaApp {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let out = self.engine.on_start();
+        self.dispatch(ctx, out);
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: ReceivedFrame) {
+        let delivered = self.transport.on_frame(ctx, &frame);
+        for (peer, padded) in delivered {
+            let Some(inner) = unpad(&padded) else {
+                self.probe.borrow_mut().rejected[self.engine.id()] += 1;
+                continue;
+            };
+            let inner = inner.to_vec();
+            self.probe.borrow_mut().accepted[self.engine.id()] += 1;
+            let out = self.engine.on_message(peer, &inner);
+            self.dispatch(ctx, out);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: u64) {
+        let _ = self.transport.on_timer(ctx, timer);
+    }
+
+    fn on_unicast_failed(&mut self, ctx: &mut NodeCtx<'_>, dst: usize, payload: Bytes) {
+        self.transport.on_unicast_failed(ctx, dst, payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_wrap_round_trip() {
+        let key = HmacKey::from_bytes(b"pairwise");
+        let wrapped = mac_wrap(&key, b"payload");
+        assert_eq!(mac_unwrap(&key, &wrapped), Some(&b"payload"[..]));
+        let other = HmacKey::from_bytes(b"other");
+        assert_eq!(mac_unwrap(&other, &wrapped), None);
+        assert_eq!(mac_unwrap(&key, b"short"), None);
+        let mut tampered = wrapped.to_vec();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 1;
+        assert_eq!(mac_unwrap(&key, &tampered), None);
+    }
+
+    #[test]
+    fn pairwise_keys_symmetric() {
+        let a = pairwise_keys(0, 4, 7);
+        let b = pairwise_keys(3, 4, 7);
+        // Key (0→3) equals key (3→0): same MAC over the same message.
+        assert_eq!(a[3].mac(b"m"), b[0].mac(b"m"));
+        // Distinct pairs get distinct keys.
+        assert_ne!(a[1].mac(b"m"), a[2].mac(b"m"));
+    }
+
+    #[test]
+    fn pad_round_trip() {
+        let padded = pad_to(b"hello", 64);
+        assert_eq!(padded.len(), 64);
+        assert_eq!(unpad(&padded), Some(&b"hello"[..]));
+        // Minimum size respected even when total is too small.
+        let tight = pad_to(b"hello", 3);
+        assert_eq!(unpad(&tight), Some(&b"hello"[..]));
+        assert_eq!(unpad(b"xy"), None);
+        assert_eq!(unpad(&[0, 0, 0, 9, 1]), None, "declared length overruns");
+    }
+
+    #[test]
+    fn probe_new_sizes() {
+        let probe = RunProbe::new(5);
+        assert_eq!(probe.borrow().phase_at_decision.len(), 5);
+        assert_eq!(probe.borrow().accepted.len(), 5);
+    }
+}

@@ -1,0 +1,340 @@
+//! Byzantine attack strategies from the paper's evaluation (§7.2).
+//!
+//! * **Turquois / Bracha** — the value-flipping strategy: "a Byzantine
+//!   process in phase 1 and 2 proposes the opposite value that it would
+//!   propose if it were behaving correctly, and in phase 3 it proposes
+//!   the default value ⊥. This strategy is followed even if messages are
+//!   potentially considered invalid."
+//! * **ABBA** — "a Byzantine process … transmits messages with invalid
+//!   signatures and justifications in order to force extra computations
+//!   at the correct processes."
+//!
+//! Each adversary tracks the protocol honestly on the inside (so its
+//! lies stay phase-fresh) but corrupts what leaves the node. Adversaries
+//! never call `decide`, so the simulator's decision count only reflects
+//! correct processes.
+
+use crate::adapters::{pad_to, BrachaApp, SharedProbe, TICK_INTERVAL};
+use bytes::Bytes;
+use std::collections::BTreeSet;
+use std::time::Duration;
+use turquois_baselines::bracha::Bracha;
+use turquois_baselines::rbc::RbcMessage;
+use turquois_core::instance::Turquois;
+use turquois_core::message::{Message, Status};
+use turquois_core::state::PhaseKind;
+use turquois_core::KeyRing;
+use turquois_crypto::cost::CostModel;
+use turquois_crypto::otss::Value;
+use turquois_crypto::sha256::sha256_concat;
+use turquois_crypto::threshold::{CoinShare, SigShare};
+use wireless_net::config::overhead;
+use wireless_net::frame::ReceivedFrame;
+use wireless_net::reliable::ReliableEndpoint;
+use wireless_net::sim::{Application, NodeCtx};
+
+/// The Turquois value-flipping adversary.
+///
+/// Runs a genuine instance internally to follow the protocol's phase
+/// structure, but every broadcast carries the lie: flipped value in
+/// CONVERGE and LOCK phases, `⊥` in DECIDE phases — signed with its own
+/// (legitimate) one-time keys, exactly what a compromised node could do.
+pub struct ByzantineTurquoisApp {
+    tracker: Turquois,
+    keyring: KeyRing,
+    generation: u64,
+}
+
+impl ByzantineTurquoisApp {
+    /// Creates the adversary for the process owning `keyring`.
+    pub fn new(tracker: Turquois, keyring: KeyRing) -> Self {
+        ByzantineTurquoisApp {
+            tracker,
+            keyring,
+            generation: 0,
+        }
+    }
+
+    fn lie(&self) -> Option<Message> {
+        let phase = self.tracker.phase();
+        let value = match PhaseKind::of(phase) {
+            PhaseKind::Converge | PhaseKind::Lock => match self.tracker.value() {
+                Value::Bot => Value::One, // tracker holds ⊥ only transiently
+                v => v.flipped(),
+            },
+            PhaseKind::Decide => Value::Bot,
+        };
+        let signature = self.keyring.sign(phase, value).ok()?;
+        Some(Message::bare(
+            turquois_core::Envelope {
+                sender: self.tracker.id(),
+                phase,
+                value,
+                coin_flip: false,
+                status: Status::Undecided,
+            },
+            signature,
+        ))
+    }
+
+    fn broadcast_lie(&mut self, ctx: &mut NodeCtx<'_>) {
+        if let Some(msg) = self.lie() {
+            ctx.broadcast(msg.encode(), overhead::UDP);
+        }
+        self.generation += 1;
+        ctx.set_timer(TICK_INTERVAL, self.generation);
+    }
+}
+
+impl Application for ByzantineTurquoisApp {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.broadcast_lie(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: u64) {
+        if timer == self.generation {
+            self.broadcast_lie(ctx);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: ReceivedFrame) {
+        let receipt = self.tracker.on_message(&frame.payload);
+        if receipt.phase_advanced {
+            self.broadcast_lie(ctx);
+        }
+        // Never decides.
+    }
+}
+
+/// Builds the Bracha value-flipping adversary: a [`BrachaApp`] whose
+/// own reliable-broadcast *initials* are corrupted (steps 1–2 flipped,
+/// step 3 forced to ⊥); echoes and readies for other processes pass
+/// through unmodified.
+pub fn byzantine_bracha_app(
+    engine: Bracha,
+    n: usize,
+    seed: u64,
+    cost: CostModel,
+    probe: SharedProbe,
+) -> BrachaApp {
+    let me = engine.id();
+    BrachaApp::new(engine, n, seed, cost, probe).with_mutation(bracha_flip_mutation(me))
+}
+
+/// The raw value-flipping mutation applied to a Byzantine Bracha node's
+/// outgoing messages (exposed for tests and custom fault loads).
+pub fn bracha_flip_mutation(me: usize) -> Box<dyn FnMut(&[u8]) -> Bytes> {
+    Box::new(move |bytes| {
+        let Some(msg) = RbcMessage::decode(bytes) else {
+            return Bytes::copy_from_slice(bytes);
+        };
+        if let RbcMessage::Initial { tag, payload } = &msg {
+            if tag.origin == me && payload.len() == 1 {
+                let lie = match (tag.step, payload[0]) {
+                    (1 | 2, 0) => 1u8,
+                    (1 | 2, 1) => 0u8,
+                    (3, _) => 2u8, // ⊥
+                    (_, v) => v,
+                };
+                return RbcMessage::Initial {
+                    tag: *tag,
+                    payload: Bytes::copy_from_slice(&[lie]),
+                }
+                .encode();
+            }
+        }
+        Bytes::copy_from_slice(bytes)
+    })
+}
+
+/// The ABBA invalid-signature adversary: floods every round it observes
+/// with RSA-sized messages whose shares and justifications are garbage,
+/// forcing correct processes to burn verification time before
+/// discarding.
+pub struct ByzantineAbbaApp {
+    me: usize,
+    n: usize,
+    transport: ReliableEndpoint,
+    rounds_hit: BTreeSet<u32>,
+    salvos_per_round: usize,
+}
+
+impl ByzantineAbbaApp {
+    /// Creates the adversary.
+    pub fn new(me: usize, n: usize) -> Self {
+        ByzantineAbbaApp {
+            me,
+            n,
+            transport: ReliableEndpoint::new(me, n),
+            rounds_hit: BTreeSet::new(),
+            salvos_per_round: 2,
+        }
+    }
+
+    fn bogus_for_round(&self, round: u32, salvo: usize) -> Vec<Bytes> {
+        let junk =
+            |label: &str| sha256_concat(&[label.as_bytes(), &round.to_be_bytes(), &[salvo as u8]]);
+        let share = SigShare {
+            party: self.me,
+            tag: junk("share"),
+        };
+        let coin_share = CoinShare {
+            party: self.me,
+            tag: junk("coin"),
+        };
+        let prevote = turquois_baselines::abba::AbbaMessage::PreVote {
+            round,
+            value: salvo % 2 == 0,
+            share,
+            just: turquois_baselines::abba::PreVoteJust::Hard(
+                turquois_crypto::threshold::ThresholdSignature { tag: junk("sig") },
+            ),
+        };
+        let mainvote = turquois_baselines::abba::AbbaMessage::MainVote {
+            round,
+            value: turquois_baselines::abba::MainVoteValue::One,
+            share,
+            coin_share,
+            just: turquois_baselines::abba::MainVoteJust::ForValue(
+                turquois_crypto::threshold::ThresholdSignature { tag: junk("sig2") },
+            ),
+        };
+        vec![
+            pad_to(&prevote.encode(), prevote.rsa_equivalent_size() + 4),
+            pad_to(&mainvote.encode(), mainvote.rsa_equivalent_size() + 4),
+        ]
+    }
+
+    fn attack_round(&mut self, ctx: &mut NodeCtx<'_>, round: u32) {
+        if !self.rounds_hit.insert(round) {
+            return;
+        }
+        for salvo in 0..self.salvos_per_round {
+            for bytes in self.bogus_for_round(round, salvo) {
+                for dst in 0..self.n {
+                    if dst != self.me {
+                        self.transport.send(ctx, dst, bytes.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Application for ByzantineAbbaApp {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.attack_round(ctx, 1);
+        // Periodic re-scan in case traffic reveals later rounds slowly.
+        ctx.set_timer(Duration::from_millis(20), 1);
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: ReceivedFrame) {
+        let delivered = self.transport.on_frame(ctx, &frame);
+        let mut rounds = Vec::new();
+        for (_peer, padded) in delivered {
+            if let Some(inner) = crate::adapters::unpad(&padded) {
+                if let Some(msg) = turquois_baselines::abba::AbbaMessage::decode(inner) {
+                    let round = match msg {
+                        turquois_baselines::abba::AbbaMessage::PreVote { round, .. }
+                        | turquois_baselines::abba::AbbaMessage::MainVote { round, .. } => round,
+                    };
+                    rounds.push(round);
+                    rounds.push(round + 1);
+                }
+            }
+        }
+        for round in rounds {
+            self.attack_round(ctx, round);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: u64) {
+        if timer == 1 {
+            ctx.set_timer(Duration::from_millis(20), 1);
+            return;
+        }
+        let _ = self.transport.on_timer(ctx, timer);
+    }
+
+    fn on_unicast_failed(&mut self, ctx: &mut NodeCtx<'_>, dst: usize, payload: Bytes) {
+        self.transport.on_unicast_failed(ctx, dst, payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turquois_core::Config;
+
+    #[test]
+    fn turquois_lie_shape() {
+        let cfg = Config::evaluation(4).expect("valid");
+        let rings = KeyRing::trusted_setup(4, 30, 5);
+        let mut rings: Vec<KeyRing> = rings;
+        let ring3 = rings.pop().expect("4 rings");
+        let tracker = Turquois::new(cfg, 3, true, ring3.clone(), 99);
+        let adv = ByzantineTurquoisApp::new(tracker, ring3);
+        // Phase 1 (CONVERGE), proposal true → lie is Zero.
+        let lie = adv.lie().expect("keys cover phase 1");
+        assert_eq!(lie.envelope.value, Value::Zero);
+        assert_eq!(lie.envelope.phase, 1);
+        assert_eq!(lie.envelope.status, Status::Undecided);
+        // The lie is genuinely signed: any peer's keyring accepts it.
+        assert!(rings[0].verify(&lie.envelope, &lie.signature));
+    }
+
+    #[test]
+    fn bracha_mutation_flips_initials_only() {
+        use turquois_baselines::rbc::Tag;
+        let own_initial = RbcMessage::Initial {
+            tag: Tag {
+                origin: 3,
+                round: 1,
+                step: 1,
+            },
+            payload: Bytes::copy_from_slice(&[1]),
+        };
+        let echo = RbcMessage::Echo {
+            tag: Tag {
+                origin: 0,
+                round: 1,
+                step: 1,
+            },
+            payload: Bytes::copy_from_slice(&[1]),
+        };
+        let mut mutate = bracha_flip_mutation(3);
+        let mutated = mutate(&own_initial.encode());
+        match RbcMessage::decode(&mutated).expect("valid") {
+            RbcMessage::Initial { payload, .. } => assert_eq!(&payload[..], &[0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        let untouched = mutate(&echo.encode());
+        assert_eq!(&untouched[..], &echo.encode()[..]);
+        let step3 = RbcMessage::Initial {
+            tag: Tag {
+                origin: 3,
+                round: 1,
+                step: 3,
+            },
+            payload: Bytes::copy_from_slice(&[1]),
+        };
+        match RbcMessage::decode(&mutate(&step3.encode())).expect("valid") {
+            RbcMessage::Initial { payload, .. } => assert_eq!(&payload[..], &[2], "⊥ at step 3"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abba_bogus_messages_decode_but_fail_verification() {
+        let adv = ByzantineAbbaApp::new(3, 4);
+        let msgs = adv.bogus_for_round(1, 0);
+        assert_eq!(msgs.len(), 2);
+        for padded in msgs {
+            let inner = crate::adapters::unpad(&padded).expect("padded frame");
+            let msg = turquois_baselines::abba::AbbaMessage::decode(inner)
+                .expect("decodes fine — the signatures are the garbage part");
+            // RSA-equivalent padding was applied.
+            assert!(padded.len() >= msg.rsa_equivalent_size());
+        }
+    }
+}

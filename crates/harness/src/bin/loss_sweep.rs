@@ -1,0 +1,52 @@
+//! Ablation A3: sensitivity to frame loss, failure-free vs fail-stop.
+//!
+//! §7.3 explains why fail-stop runs can be *slower* than failure-free
+//! ones: with exactly n − f live processes every message matters, and a
+//! lost broadcast must wait for the next 10 ms clock tick. This sweep
+//! raises i.i.d. frame loss and shows the fail-stop curve climbing away
+//! from the failure-free one — Turquois's single-collision-hurts-many
+//! effect — and the same comparison for the TCP-based baselines where
+//! MAC/transport retransmission absorbs the loss.
+//!
+//! Usage: `loss_sweep [reps]` (default 15).
+
+use turquois_harness::experiment::reps_from_env;
+use turquois_harness::*;
+
+fn main() {
+    let reps = reps_from_env(15);
+    let n = 7;
+    println!("A3 — loss sweep, n={n} ({reps} reps, latency ms mean)\n");
+    println!(
+        "{:>6} | {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>12}",
+        "loss%", "Turq ff", "Turq fs", "ABBA ff", "ABBA fs", "Bracha ff", "Bracha fs"
+    );
+    for loss in [0.0f64, 0.02, 0.05, 0.10, 0.20] {
+        let mut cells = Vec::new();
+        for proto in [Protocol::Turquois, Protocol::Abba, Protocol::Bracha] {
+            for fl in [FaultLoad::FailureFree, FaultLoad::FailStop] {
+                let mut means = Vec::new();
+                for rep in 0..reps {
+                    let outcome = Scenario::new(proto, n)
+                        .fault_load(fl)
+                        .loss(LossSpec::Iid(loss))
+                        .time_limit(std::time::Duration::from_secs(60))
+                        .seed(0xA3u64.wrapping_mul(rep as u64 + 1))
+                        .run_once()
+                        .expect("valid scenario");
+                    assert!(outcome.agreement_holds() && outcome.validity_holds());
+                    if let Some(mean) = outcome.mean_latency_ms() {
+                        means.push(mean);
+                    }
+                }
+                let mean = means.iter().sum::<f64>() / means.len().max(1) as f64;
+                cells.push(mean);
+            }
+        }
+        println!(
+            "{:>6.0} | {:>12.1} {:>12.1} | {:>12.1} {:>12.1} | {:>12.1} {:>12.1}",
+            loss * 100.0,
+            cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]
+        );
+    }
+}

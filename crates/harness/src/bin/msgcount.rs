@@ -1,0 +1,44 @@
+//! Ablation A5: message complexity in practice.
+//!
+//! The paper attributes the latency ordering to message complexity:
+//! Turquois broadcasts O(n) frames per round, ABBA sends O(n²) unicasts,
+//! Bracha O(n³) through reliable broadcast. This experiment counts data
+//! frames actually transmitted (including MAC retransmissions) per
+//! consensus, per group size.
+//!
+//! Usage: `msgcount [reps]` (default 10).
+
+use turquois_harness::experiment::{reps_from_env, sizes_from_env};
+use turquois_harness::*;
+
+fn main() {
+    let reps = reps_from_env(10);
+    let sizes = sizes_from_env();
+    println!("A5 — data frames per consensus, failure-free unanimous ({reps} reps)\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>16}",
+        "n", "Turquois", "ABBA", "Bracha", "Bracha/Turquois"
+    );
+    for &n in &sizes {
+        let mut per_proto = Vec::new();
+        for proto in [Protocol::Turquois, Protocol::Abba, Protocol::Bracha] {
+            let mut frames = 0u64;
+            for rep in 0..reps {
+                let outcome = Scenario::new(proto, n)
+                    .seed(0xA5u64.wrapping_mul(rep as u64 + 1))
+                    .run_once()
+                    .expect("valid scenario");
+                assert!(outcome.agreement_holds());
+                frames += outcome.stats.frames_sent();
+            }
+            per_proto.push(frames as f64 / reps as f64);
+        }
+        println!(
+            "{n:>6} {:>12.0} {:>12.0} {:>12.0} {:>15.1}x",
+            per_proto[0],
+            per_proto[1],
+            per_proto[2],
+            per_proto[2] / per_proto[0]
+        );
+    }
+}

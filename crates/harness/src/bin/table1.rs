@@ -1,0 +1,22 @@
+//! Regenerates Table 1 of the paper: average latency (ms) ± 95 % CI in
+//! a failure-free 802.11b network, for n ∈ {4, 7, 10, 13, 16},
+//! unanimous and divergent proposals, Turquois vs ABBA vs Bracha.
+//!
+//! Usage: `table1 [reps]` (default 50; env `TURQUOIS_REPS`,
+//! `TURQUOIS_SIZES` also respected).
+
+use turquois_harness::experiment::{paper_table, render_table, reps_from_env, sizes_from_env};
+use turquois_harness::FaultLoad;
+
+fn main() {
+    let reps = reps_from_env(50);
+    let sizes = sizes_from_env();
+    let rows = paper_table(FaultLoad::FailureFree, &sizes, reps);
+    println!(
+        "{}",
+        render_table(
+            &format!("Table 1 — failure-free fault load ({reps} repetitions, latency ms ± 95% CI)"),
+            &rows
+        )
+    );
+}

@@ -1,0 +1,20 @@
+//! Regenerates Table 2 of the paper: average latency with
+//! `f = ⌊(n−1)/3⌋` processes crashed before the run (fail-stop).
+//!
+//! Usage: `table2 [reps]` (default 50).
+
+use turquois_harness::experiment::{paper_table, render_table, reps_from_env, sizes_from_env};
+use turquois_harness::FaultLoad;
+
+fn main() {
+    let reps = reps_from_env(50);
+    let sizes = sizes_from_env();
+    let rows = paper_table(FaultLoad::FailStop, &sizes, reps);
+    println!(
+        "{}",
+        render_table(
+            &format!("Table 2 — fail-stop fault load ({reps} repetitions, latency ms ± 95% CI)"),
+            &rows
+        )
+    );
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 3 of the paper: average latency with
+//! `f = ⌊(n−1)/3⌋` Byzantine processes following the §7.2 attack
+//! strategies.
+//!
+//! Usage: `table3 [reps]` (default 50).
+
+use turquois_harness::experiment::{paper_table, render_table, reps_from_env, sizes_from_env};
+use turquois_harness::FaultLoad;
+
+fn main() {
+    let reps = reps_from_env(50);
+    let sizes = sizes_from_env();
+    let rows = paper_table(FaultLoad::Byzantine, &sizes, reps);
+    println!(
+        "{}",
+        render_table(
+            &format!("Table 3 — Byzantine fault load ({reps} repetitions, latency ms ± 95% CI)"),
+            &rows
+        )
+    );
+}

@@ -1,0 +1,276 @@
+//! Repetition driving and table generation — the paper's methodology
+//! (§7.2): 50 repetitions per cell, average latency over all processes,
+//! 95 % confidence interval; safety (agreement + validity) asserted on
+//! every single run.
+
+use crate::scenario::{FaultLoad, Protocol, ProposalDistribution, Scenario};
+use crate::stats::LatencyStats;
+
+/// Group sizes used throughout the paper's evaluation.
+pub const PAPER_SIZES: [usize; 5] = [4, 7, 10, 13, 16];
+
+/// Default repetition count (§7.2).
+pub const PAPER_REPS: usize = 50;
+
+/// Result of measuring one experiment cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Latency statistics over the repetitions.
+    pub latency: LatencyStats,
+    /// Runs where fewer than `k` correct processes decided in time.
+    pub incomplete_runs: usize,
+    /// Mean data frames transmitted per run (message-complexity view).
+    pub mean_frames: f64,
+    /// Mean collisions per run.
+    pub mean_collisions: f64,
+}
+
+/// Errors from measurement.
+#[derive(Debug)]
+pub enum MeasureError {
+    /// The scenario was invalid.
+    Scenario(crate::scenario::ScenarioError),
+    /// A run violated agreement or validity — a protocol bug; never
+    /// acceptable.
+    SafetyViolation {
+        /// Repetition index.
+        rep: usize,
+    },
+    /// No run produced any decision.
+    NoData,
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::Scenario(e) => write!(f, "{e}"),
+            MeasureError::SafetyViolation { rep } => {
+                write!(f, "agreement/validity violated in repetition {rep}")
+            }
+            MeasureError::NoData => write!(f, "no repetition produced a decision"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+/// Runs `reps` repetitions of `scenario` (varying the seed per
+/// repetition, like the paper's 50 signaled executions) and aggregates
+/// latency.
+///
+/// # Errors
+///
+/// Safety violations and configuration errors; see [`MeasureError`].
+pub fn measure(scenario: &Scenario, reps: usize) -> Result<CellResult, MeasureError> {
+    let mut rep_means = Vec::with_capacity(reps);
+    let mut incomplete = 0usize;
+    let mut frames = 0u64;
+    let mut collisions = 0u64;
+    for rep in 0..reps {
+        let outcome = scenario
+            .clone()
+            .seed(scenario_rep_seed(scenario, rep))
+            .run_once()
+            .map_err(MeasureError::Scenario)?;
+        if !outcome.agreement_holds() || !outcome.validity_holds() {
+            return Err(MeasureError::SafetyViolation { rep });
+        }
+        frames += outcome.stats.frames_sent();
+        collisions += outcome.stats.collisions;
+        if !outcome.k_reached() {
+            incomplete += 1;
+            continue;
+        }
+        if let Some(mean) = outcome.mean_latency_ms() {
+            rep_means.push(mean);
+        }
+    }
+    if rep_means.is_empty() {
+        return Err(MeasureError::NoData);
+    }
+    Ok(CellResult {
+        latency: LatencyStats::from_samples(&rep_means),
+        incomplete_runs: incomplete,
+        mean_frames: frames as f64 / reps as f64,
+        mean_collisions: collisions as f64 / reps as f64,
+    })
+}
+
+fn scenario_rep_seed(scenario: &Scenario, rep: usize) -> u64 {
+    // Spread repetitions across the seed space deterministically.
+    0x9e37_79b9_7f4a_7c15u64
+        .wrapping_mul(rep as u64 + 1)
+        .wrapping_add(scenario.n() as u64)
+}
+
+/// One row of a paper-style table: a group size with per-protocol,
+/// per-distribution cells.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Group size `n`.
+    pub n: usize,
+    /// Cells in `(protocol, distribution)` order: Turquois
+    /// unanimous/divergent, ABBA u/d, Bracha u/d.
+    pub cells: Vec<Result<CellResult, String>>,
+}
+
+/// Generates a full paper-style table for one fault load.
+///
+/// Cells that fail to measure carry their error text instead of
+/// aborting the table.
+pub fn paper_table(fault_load: FaultLoad, sizes: &[usize], reps: usize) -> Vec<TableRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut cells = Vec::new();
+        for protocol in Protocol::ALL {
+            for dist in [
+                ProposalDistribution::Unanimous,
+                ProposalDistribution::Divergent,
+            ] {
+                let scenario = Scenario::new(protocol, n)
+                    .proposals(dist)
+                    .fault_load(fault_load);
+                cells.push(measure(&scenario, reps).map_err(|e| e.to_string()));
+            }
+        }
+        rows.push(TableRow { n, cells });
+    }
+    rows
+}
+
+/// Renders rows in the paper's layout.
+pub fn render_table(title: &str, rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:>6} | {:>19} {:>19} | {:>19} {:>19} | {:>19} {:>19}\n",
+        "n",
+        "Turquois unan.",
+        "Turquois div.",
+        "ABBA unan.",
+        "ABBA div.",
+        "Bracha unan.",
+        "Bracha div."
+    ));
+    out.push_str(&"-".repeat(132));
+    out.push('\n');
+    for row in rows {
+        let mut line = format!("{:>6}", row.n);
+        for (i, cell) in row.cells.iter().enumerate() {
+            let text = match cell {
+                Ok(c) => c.latency.display(),
+                Err(e) => format!("error: {}", truncate(e, 12)),
+            };
+            if i % 2 == 0 {
+                line.push_str(" | ");
+            } else {
+                line.push(' ');
+            }
+            line.push_str(&format!("{text:>19}"));
+        }
+        line.push('\n');
+        out.push_str(&line);
+    }
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max])
+    }
+}
+
+/// Reads the repetition count from `TURQUOIS_REPS` (or the first CLI
+/// argument), defaulting to `default`. Lets the full paper grid
+/// (50 reps) coexist with quick smoke runs.
+pub fn reps_from_env(default: usize) -> usize {
+    if let Some(arg) = std::env::args().nth(1) {
+        if let Ok(v) = arg.parse() {
+            return v;
+        }
+    }
+    std::env::var("TURQUOIS_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads the group sizes from `TURQUOIS_SIZES` (comma-separated),
+/// defaulting to the paper's grid.
+pub fn sizes_from_env() -> Vec<usize> {
+    std::env::var("TURQUOIS_SIZES")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| PAPER_SIZES.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_turquois_small() {
+        let scenario = Scenario::new(Protocol::Turquois, 4);
+        let cell = measure(&scenario, 3).expect("measurement succeeds");
+        assert_eq!(cell.latency.samples, 3);
+        assert!(cell.latency.mean_ms > 0.0);
+        assert_eq!(cell.incomplete_runs, 0);
+        assert!(cell.mean_frames > 0.0);
+    }
+
+    #[test]
+    fn rep_seeds_differ() {
+        let s = Scenario::new(Protocol::Turquois, 4);
+        assert_ne!(scenario_rep_seed(&s, 0), scenario_rep_seed(&s, 1));
+    }
+
+    #[test]
+    fn render_table_contains_rows() {
+        let rows = vec![TableRow {
+            n: 4,
+            cells: vec![
+                Ok(CellResult {
+                    latency: LatencyStats {
+                        mean_ms: 14.9,
+                        ci_ms: 4.7,
+                        samples: 50,
+                    },
+                    incomplete_runs: 0,
+                    mean_frames: 100.0,
+                    mean_collisions: 2.0,
+                }),
+                Err("boom".into()),
+                Ok(CellResult {
+                    latency: LatencyStats {
+                        mean_ms: 74.7,
+                        ci_ms: 7.9,
+                        samples: 50,
+                    },
+                    incomplete_runs: 1,
+                    mean_frames: 500.0,
+                    mean_collisions: 5.0,
+                }),
+                Err("x".into()),
+                Err("y".into()),
+                Err("z".into()),
+            ],
+        }];
+        let rendered = render_table("Table 1", &rows);
+        assert!(rendered.contains("Table 1"));
+        assert!(rendered.contains("14.90 ± 4.70"));
+        assert!(rendered.contains("error: boom"));
+    }
+
+    #[test]
+    fn truncate_behaviour() {
+        assert_eq!(truncate("short", 10), "short");
+        assert_eq!(truncate("a very long message", 6), "a very…");
+    }
+}

@@ -1,0 +1,568 @@
+//! Scenario construction and single-run execution — the programmatic
+//! form of the paper's experimental grid (§7.2): protocol × group size ×
+//! proposal distribution × fault load, plus the reproduction's loss
+//! models and cost-model ablations.
+
+use crate::adapters::{AbbaApp, BrachaApp, RunProbe, SharedProbe, TurquoisApp};
+use crate::adversary::{byzantine_bracha_app, ByzantineAbbaApp, ByzantineTurquoisApp};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use turquois_baselines::abba::{Abba, AbbaKeys};
+use turquois_baselines::bracha::Bracha;
+use turquois_core::config::{Config, ConfigError};
+use turquois_core::instance::Turquois;
+use turquois_core::KeyRing;
+use turquois_crypto::cost::CostModel;
+use wireless_net::fault::{
+    BudgetedOmission, FaultModel, GilbertElliott, IidLoss, JammingWindows, NoFaults,
+};
+use wireless_net::sim::{Application, CrashedApp, Decision, RunStatus, SimConfig, Simulator};
+use wireless_net::stats::NetStats;
+use wireless_net::time::SimTime;
+
+/// The protocol under test.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// The paper's contribution (UDP broadcast).
+    Turquois,
+    /// Cachin–Kursawe–Shoup (TCP + threshold crypto).
+    Abba,
+    /// Bracha 1984 (TCP + reliable broadcast).
+    Bracha,
+}
+
+impl Protocol {
+    /// All three protocols, in the paper's table order.
+    pub const ALL: [Protocol; 3] = [Protocol::Turquois, Protocol::Abba, Protocol::Bracha];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Turquois => "Turquois",
+            Protocol::Abba => "ABBA",
+            Protocol::Bracha => "Bracha",
+        }
+    }
+}
+
+/// Initial proposal pattern (§7.2).
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash, Serialize, Deserialize)]
+pub enum ProposalDistribution {
+    /// Every process proposes 1.
+    Unanimous,
+    /// Odd process identifiers propose 1, even propose 0.
+    Divergent,
+}
+
+impl ProposalDistribution {
+    /// The proposal of process `id`.
+    pub fn proposal(&self, id: usize) -> bool {
+        match self {
+            ProposalDistribution::Unanimous => true,
+            ProposalDistribution::Divergent => id % 2 == 1,
+        }
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProposalDistribution::Unanimous => "unanimous",
+            ProposalDistribution::Divergent => "divergent",
+        }
+    }
+}
+
+/// Fault load (§7.2): which failures are injected.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash, Serialize, Deserialize)]
+pub enum FaultLoad {
+    /// All processes behave correctly.
+    FailureFree,
+    /// `f = ⌊(n−1)/3⌋` processes crash before the run starts.
+    FailStop,
+    /// `f` processes follow the malicious strategy of §7.2.
+    Byzantine,
+}
+
+impl FaultLoad {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultLoad::FailureFree => "failure-free",
+            FaultLoad::FailStop => "fail-stop",
+            FaultLoad::Byzantine => "Byzantine",
+        }
+    }
+}
+
+/// Injected network-loss model (on top of MAC collisions).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LossSpec {
+    /// No injected loss.
+    None,
+    /// Independent loss with the given probability.
+    Iid(f64),
+    /// Gilbert–Elliott bursts: `(p_gb, p_bg, loss_bad)`, good state
+    /// lossless.
+    Burst(f64, f64, f64),
+    /// One jamming window `[start_ms, start_ms + len_ms)`.
+    Jam {
+        /// Window start, ms.
+        start_ms: u64,
+        /// Window length, ms.
+        len_ms: u64,
+    },
+    /// Omission adversary: kill up to `budget` broadcast deliveries per
+    /// `window_ms` window (σ-bound experiments).
+    Budget {
+        /// Deliveries killed per window.
+        budget: usize,
+        /// Window length, ms.
+        window_ms: u64,
+    },
+}
+
+impl LossSpec {
+    fn build(&self, seed: u64) -> Box<dyn FaultModel> {
+        match *self {
+            LossSpec::None => Box::new(NoFaults),
+            LossSpec::Iid(p) => Box::new(IidLoss::new(p, seed)),
+            LossSpec::Burst(p_gb, p_bg, loss_bad) => {
+                Box::new(GilbertElliott::new(p_gb, p_bg, 0.0, loss_bad, seed))
+            }
+            LossSpec::Jam { start_ms, len_ms } => Box::new(JammingWindows::burst(
+                SimTime::from_millis(start_ms),
+                Duration::from_millis(len_ms),
+            )),
+            LossSpec::Budget { budget, window_ms } => Box::new(
+                BudgetedOmission::new(budget, Duration::from_millis(window_ms)).broadcast_only(),
+            ),
+        }
+    }
+}
+
+/// Errors configuring or running a scenario.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum ScenarioError {
+    /// The group size admits no valid `(f, k)` per the paper's rules.
+    InvalidConfig(ConfigError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A fully-specified experiment cell.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    protocol: Protocol,
+    n: usize,
+    proposals: ProposalDistribution,
+    fault_load: FaultLoad,
+    loss: LossSpec,
+    seed: u64,
+    cost: CostModel,
+    time_limit: Duration,
+    key_phases: usize,
+    phy: wireless_net::PhyConfig,
+}
+
+impl Scenario {
+    /// Residual 802.11b frame-loss probability applied by default: any
+    /// real deployment sees interference/fading loss on top of
+    /// collisions; 2 % is a conservative figure for co-located nodes and
+    /// is what lets the paper's loss-sensitivity effects (fail-stop
+    /// slower than failure-free, divergent ≈ 2× unanimous) materialize.
+    /// Override with [`Scenario::loss`] (e.g. `LossSpec::None` for a
+    /// perfectly clean channel).
+    pub const BASELINE_LOSS: LossSpec = LossSpec::Iid(0.02);
+
+    /// Creates a failure-free, unanimous scenario for `protocol` with
+    /// `n` processes (`f = ⌊(n−1)/3⌋`, `k = n − f`) over a channel with
+    /// [`Scenario::BASELINE_LOSS`].
+    pub fn new(protocol: Protocol, n: usize) -> Scenario {
+        Scenario {
+            protocol,
+            n,
+            proposals: ProposalDistribution::Unanimous,
+            fault_load: FaultLoad::FailureFree,
+            loss: Scenario::BASELINE_LOSS,
+            seed: 0,
+            cost: CostModel::pentium3_600(),
+            time_limit: Duration::from_secs(120),
+            key_phases: 600,
+            phy: wireless_net::PhyConfig::default(),
+        }
+    }
+
+    /// Sets the proposal distribution.
+    pub fn proposals(mut self, p: ProposalDistribution) -> Scenario {
+        self.proposals = p;
+        self
+    }
+
+    /// Sets the fault load.
+    pub fn fault_load(mut self, fl: FaultLoad) -> Scenario {
+        self.fault_load = fl;
+        self
+    }
+
+    /// Sets the injected loss model.
+    pub fn loss(mut self, loss: LossSpec) -> Scenario {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the RNG seed (vary per repetition).
+    pub fn seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the CPU cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Scenario {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the simulated-time limit for one run.
+    pub fn time_limit(mut self, limit: Duration) -> Scenario {
+        self.time_limit = limit;
+        self
+    }
+
+    /// Sets how many phases of one-time keys are pre-distributed
+    /// (Turquois).
+    pub fn key_phases(mut self, phases: usize) -> Scenario {
+        self.key_phases = phases;
+        self
+    }
+
+    /// Overrides the PHY/MAC parameters (rates, timing, queue depth).
+    pub fn phy(mut self, phy: wireless_net::PhyConfig) -> Scenario {
+        self.phy = phy;
+        self
+    }
+
+    /// The protocol under test.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Group size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Builds the simulator and probe for this scenario without running
+    /// it — for step-by-step drivers, debugging, and tests that need
+    /// mid-run access.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::InvalidConfig`] when `n` admits no valid
+    /// configuration.
+    pub fn build_sim(&self) -> Result<(Simulator, SharedProbe), ScenarioError> {
+        let cfg = Config::evaluation(self.n).map_err(ScenarioError::InvalidConfig)?;
+        let n = self.n;
+        let f = cfg.f();
+        // The last f processes are the faulty ones under faulty loads.
+        let faulty: Vec<bool> = (0..n).map(|i| i >= n - f).collect();
+        let is_faulty =
+            |i: usize| self.fault_load != FaultLoad::FailureFree && faulty[i];
+        let proposals: Vec<bool> = (0..n).map(|i| self.proposals.proposal(i)).collect();
+        let probe = RunProbe::new(n);
+
+        let apps: Vec<Box<dyn Application>> = match self.protocol {
+            Protocol::Turquois => {
+                let rings = KeyRing::trusted_setup(n, self.key_phases, self.seed);
+                rings
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, ring)| self.make_turquois(cfg, i, proposals[i], ring, &probe, is_faulty(i)))
+                    .collect()
+            }
+            Protocol::Bracha => (0..n)
+                .map(|i| {
+                    let engine = Bracha::new(n, f, i, proposals[i], self.seed + 31 * i as u64);
+                    if !is_faulty(i) {
+                        Box::new(BrachaApp::new(engine, n, self.seed, self.cost, probe.clone()))
+                            as Box<dyn Application>
+                    } else if self.fault_load == FaultLoad::Byzantine {
+                        Box::new(byzantine_bracha_app(
+                            engine,
+                            n,
+                            self.seed,
+                            self.cost,
+                            probe.clone(),
+                        )) as Box<dyn Application>
+                    } else {
+                        Box::new(CrashedApp) as Box<dyn Application>
+                    }
+                })
+                .collect(),
+            Protocol::Abba => {
+                let keys = AbbaKeys::trusted_setup(n, f, self.seed);
+                keys.into_iter()
+                    .enumerate()
+                    .map(|(i, k)| {
+                        if !is_faulty(i) {
+                            let engine =
+                                Abba::new(n, f, i, proposals[i], k, self.seed + 17 * i as u64);
+                            Box::new(AbbaApp::new(engine, n, self.cost, probe.clone()))
+                                as Box<dyn Application>
+                        } else if self.fault_load == FaultLoad::Byzantine {
+                            Box::new(ByzantineAbbaApp::new(i, n)) as Box<dyn Application>
+                        } else {
+                            Box::new(CrashedApp) as Box<dyn Application>
+                        }
+                    })
+                    .collect()
+            }
+        };
+
+        let sim_cfg = SimConfig {
+            seed: self.seed,
+            phy: self.phy,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(sim_cfg, self.loss.build(self.seed), apps);
+        Ok((sim, probe))
+    }
+
+    /// Number of processes that behave correctly under this fault load.
+    pub fn correct_count(&self) -> usize {
+        let f = (self.n.saturating_sub(1)) / 3;
+        if self.fault_load == FaultLoad::FailureFree {
+            self.n
+        } else {
+            self.n - f
+        }
+    }
+
+    /// Runs the scenario once.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::InvalidConfig`] when `n` admits no valid
+    /// configuration.
+    pub fn run_once(&self) -> Result<RunOutcome, ScenarioError> {
+        let cfg = Config::evaluation(self.n).map_err(ScenarioError::InvalidConfig)?;
+        let n = self.n;
+        let f = cfg.f();
+        let fault_load = self.fault_load;
+        let faulty_flags: Vec<bool> = (0..n)
+            .map(|i| fault_load != FaultLoad::FailureFree && i >= n - f)
+            .collect();
+        let proposals: Vec<bool> = (0..n).map(|i| self.proposals.proposal(i)).collect();
+        let (mut sim, probe) = self.build_sim()?;
+        let limit = SimTime::ZERO + self.time_limit;
+        let status = sim.run_until_k_decided(self.correct_count(), limit);
+        let probe_snapshot = probe.borrow().clone();
+
+        Ok(RunOutcome {
+            n,
+            f,
+            k: cfg.k(),
+            fault_load,
+            faulty: faulty_flags,
+            proposals,
+            status,
+            decisions: sim.decisions().to_vec(),
+            start_times: sim.start_times().to_vec(),
+            stats: sim.stats().clone(),
+            probe: probe_snapshot,
+            end: sim.now(),
+        })
+    }
+
+    fn make_turquois(
+        &self,
+        cfg: Config,
+        i: usize,
+        proposal: bool,
+        ring: KeyRing,
+        probe: &SharedProbe,
+        faulty: bool,
+    ) -> Box<dyn Application> {
+        if !faulty {
+            let inst = Turquois::new(cfg, i, proposal, ring, self.seed + 7 * i as u64);
+            Box::new(TurquoisApp::new(inst, self.cost, probe.clone()))
+        } else if self.fault_load == FaultLoad::Byzantine {
+            let tracker = Turquois::new(cfg, i, proposal, ring.clone(), self.seed + 7 * i as u64);
+            Box::new(ByzantineTurquoisApp::new(tracker, ring))
+        } else {
+            Box::new(CrashedApp)
+        }
+    }
+}
+
+/// The observable results of one run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Group size.
+    pub n: usize,
+    /// Byzantine bound used.
+    pub f: usize,
+    /// Decision threshold used.
+    pub k: usize,
+    /// The fault load that was applied.
+    pub fault_load: FaultLoad,
+    /// Which processes were faulty (crashed or Byzantine).
+    pub faulty: Vec<bool>,
+    /// Initial proposals.
+    pub proposals: Vec<bool>,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Per-node decisions (faulty nodes never decide).
+    pub decisions: Vec<Option<Decision>>,
+    /// Per-node start instants.
+    pub start_times: Vec<SimTime>,
+    /// Network statistics.
+    pub stats: NetStats,
+    /// Adapter observations.
+    pub probe: RunProbe,
+    /// Simulated time when the run stopped.
+    pub end: SimTime,
+}
+
+impl RunOutcome {
+    /// Indices of correct processes.
+    pub fn correct(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(|&i| !self.faulty[i])
+    }
+
+    /// Number of correct processes that decided.
+    pub fn decided_correct(&self) -> usize {
+        self.correct()
+            .filter(|&i| self.decisions[i].is_some())
+            .count()
+    }
+
+    /// Whether at least `k` correct processes decided.
+    pub fn k_reached(&self) -> bool {
+        self.decided_correct() >= self.k
+    }
+
+    /// Agreement: no two correct processes decided differently.
+    pub fn agreement_holds(&self) -> bool {
+        let mut seen: Option<bool> = None;
+        for i in self.correct() {
+            if let Some(d) = self.decisions[i] {
+                match seen {
+                    None => seen = Some(d.value),
+                    Some(v) if v != d.value => return false,
+                    _ => {}
+                }
+            }
+        }
+        true
+    }
+
+    /// Validity: if all correct processes proposed `v`, every correct
+    /// decision is `v`. (Vacuously true for divergent proposals.)
+    pub fn validity_holds(&self) -> bool {
+        let props: Vec<bool> = self.correct().map(|i| self.proposals[i]).collect();
+        let Some(&first) = props.first() else {
+            return true;
+        };
+        if !props.iter().all(|&p| p == first) {
+            return true;
+        }
+        self.correct()
+            .filter_map(|i| self.decisions[i])
+            .all(|d| d.value == first)
+    }
+
+    /// Per-process decision latencies in milliseconds (correct deciders
+    /// only), per the paper's latency metric.
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.correct()
+            .filter_map(|i| {
+                self.decisions[i].map(|d| {
+                    d.time.saturating_since(self.start_times[i]).as_secs_f64() * 1e3
+                })
+            })
+            .collect()
+    }
+
+    /// Mean latency over deciders, if any decided.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        let l = self.latencies_ms();
+        if l.is_empty() {
+            None
+        } else {
+            Some(l.iter().sum::<f64>() / l.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_spec_builds_all_variants() {
+        for spec in [
+            LossSpec::None,
+            LossSpec::Iid(0.1),
+            LossSpec::Burst(0.05, 0.2, 0.8),
+            LossSpec::Jam {
+                start_ms: 5,
+                len_ms: 10,
+            },
+            LossSpec::Budget {
+                budget: 3,
+                window_ms: 10,
+            },
+        ] {
+            let model = spec.build(1);
+            assert!(!model.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn proposal_distributions() {
+        assert!(ProposalDistribution::Unanimous.proposal(0));
+        assert!(ProposalDistribution::Unanimous.proposal(7));
+        assert!(!ProposalDistribution::Divergent.proposal(0));
+        assert!(ProposalDistribution::Divergent.proposal(1));
+    }
+
+    #[test]
+    fn invalid_n_is_reported() {
+        let s = Scenario::new(Protocol::Turquois, 0);
+        assert!(matches!(
+            s.run_once(),
+            Err(ScenarioError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn turquois_failure_free_unanimous_smoke() {
+        let outcome = Scenario::new(Protocol::Turquois, 4)
+            .seed(42)
+            .run_once()
+            .expect("valid scenario");
+        assert_eq!(outcome.status, RunStatus::Satisfied, "{outcome:?}");
+        assert_eq!(outcome.decided_correct(), 4);
+        assert!(outcome.agreement_holds());
+        assert!(outcome.validity_holds());
+        assert!(outcome.k_reached());
+        let lat = outcome.latencies_ms();
+        assert_eq!(lat.len(), 4);
+        assert!(lat.iter().all(|&ms| ms > 0.0 && ms < 1_000.0), "{lat:?}");
+    }
+
+    #[test]
+    fn names_for_display() {
+        assert_eq!(Protocol::Turquois.name(), "Turquois");
+        assert_eq!(ProposalDistribution::Divergent.name(), "divergent");
+        assert_eq!(FaultLoad::FailStop.name(), "fail-stop");
+    }
+}

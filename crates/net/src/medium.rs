@@ -1,0 +1,506 @@
+//! The shared 802.11b broadcast medium: CSMA/CA arbitration with binary
+//! exponential backoff, collisions, and unicast ACK/retransmission.
+//!
+//! The model is the standard simplified DCF used by protocol simulators:
+//!
+//! * Every node owns a FIFO transmit queue; only the head frame contends.
+//! * A contender draws a backoff uniform in `[0, CW(attempt)]` slots.
+//!   Contention resolves at `max(now, channel_free) + DIFS + min_backoff ·
+//!   slot`; all contenders holding the minimum transmit **simultaneously**
+//!   — more than one means a collision that garbles every involved frame
+//!   at every receiver. Losers decrement their counters by the elapsed
+//!   slots (the freeze rule).
+//! * Broadcast (group-addressed) frames are sent once at the basic rate:
+//!   no ACK, no retransmission — a collision or fault loses them at up to
+//!   `n − 1` receivers, the effect paper §7.3 highlights.
+//! * Unicast frames use the data rate and are acknowledged after SIFS;
+//!   a collision or missing ACK triggers retransmission with a doubled
+//!   contention window, up to `retry_limit`, after which the MAC reports
+//!   failure to the sender.
+//!
+//! The medium is *driven* by the [`crate::sim::Simulator`]: it never
+//! schedules its own events. Instead every mutation bumps an epoch, and
+//! the simulator re-queries [`Medium::next_resolution`] and schedules a
+//! resolution event carrying that epoch; stale events are ignored.
+
+use crate::config::PhyConfig;
+use crate::frame::{Addressing, Frame, NodeId};
+use crate::time::SimTime;
+use rand::RngCore;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// A frame waiting in (or re-queued to) a node's transmit queue.
+#[derive(Clone, Debug)]
+pub struct PendingTx {
+    /// The frame to transmit.
+    pub frame: Frame,
+    /// Transmission attempt, 0-based (drives the contention window).
+    pub attempt: u32,
+}
+
+/// A transmission that just finished.
+#[derive(Clone, Debug)]
+pub struct CompletedTx {
+    /// The transmitting node.
+    pub node: NodeId,
+    /// The frame that was on the air.
+    pub frame: Frame,
+    /// Attempt number of this transmission.
+    pub attempt: u32,
+    /// `true` if this transmission collided with another.
+    pub collision: bool,
+}
+
+/// Opaque token tying a scheduled resolution event to the medium state it
+/// was computed from.
+pub type Epoch = u64;
+
+#[derive(Debug)]
+struct InFlight {
+    txs: Vec<(NodeId, PendingTx)>,
+    end: SimTime,
+}
+
+/// The shared-medium arbiter. See the module docs for the model.
+#[derive(Debug)]
+pub struct Medium {
+    phy: PhyConfig,
+    free_at: SimTime,
+    in_flight: Option<InFlight>,
+    queues: Vec<VecDeque<PendingTx>>,
+    /// Remaining backoff slots of each node's head frame; `None` when the
+    /// node has nothing to contend with.
+    backoffs: Vec<Option<u32>>,
+    epoch: Epoch,
+    /// Duration of the transmission that just finished (for stats).
+    last_busy: Duration,
+}
+
+impl Medium {
+    /// Creates a medium for `n` nodes with the given PHY parameters.
+    pub fn new(n: usize, phy: PhyConfig) -> Self {
+        Medium {
+            phy,
+            free_at: SimTime::ZERO,
+            in_flight: None,
+            queues: vec![VecDeque::new(); n],
+            backoffs: vec![None; n],
+            epoch: 0,
+            last_busy: Duration::ZERO,
+        }
+    }
+
+    /// The PHY configuration in use.
+    pub fn phy(&self) -> &PhyConfig {
+        &self.phy
+    }
+
+    /// Current epoch; resolution events carrying an older epoch are
+    /// stale.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// `true` while a transmission is on the air.
+    pub fn transmitting(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Enqueues a frame for transmission by `frame.src`. Returns `false`
+    /// — dropping the frame — when the node's transmit queue is full
+    /// (socket-buffer tail drop).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unicast frames addressed to their own sender (the
+    /// simulator loops those back without touching the radio) and on
+    /// unknown node ids.
+    pub fn enqueue(&mut self, frame: Frame, rng: &mut dyn RngCore) -> bool {
+        if let Addressing::Unicast(dst) = frame.addressing {
+            assert_ne!(dst, frame.src, "self-unicast must not reach the medium");
+        }
+        let node = frame.src;
+        if self.queues[node].len() >= self.phy.tx_queue_cap {
+            self.epoch += 1;
+            return false;
+        }
+        self.queues[node].push_back(PendingTx { frame, attempt: 0 });
+        if self.backoffs[node].is_none() && self.queues[node].len() == 1 {
+            self.backoffs[node] = Some(self.draw_backoff(0, rng));
+        }
+        self.epoch += 1;
+        true
+    }
+
+    /// When and with what epoch the next contention resolution should
+    /// fire, or `None` while transmitting or idle with no contenders.
+    pub fn next_resolution(&self, now: SimTime) -> Option<(SimTime, Epoch)> {
+        if self.in_flight.is_some() {
+            return None;
+        }
+        let min = self.backoffs.iter().flatten().min()?;
+        let base = now.max(self.free_at);
+        let at = base + self.phy.difs + self.phy.slot * *min;
+        Some((at, self.epoch))
+    }
+
+    /// Fires a contention resolution scheduled with `epoch`.
+    ///
+    /// Returns the end time of the transmission that starts now, or
+    /// `None` if the event was stale (epoch mismatch, or a transmission
+    /// started in the meantime).
+    pub fn resolve(&mut self, now: SimTime, epoch: Epoch) -> Option<SimTime> {
+        if epoch != self.epoch || self.in_flight.is_some() {
+            return None;
+        }
+        let min = *self.backoffs.iter().flatten().min()?;
+        let mut txs = Vec::new();
+        for node in 0..self.backoffs.len() {
+            match self.backoffs[node] {
+                Some(b) if b == min => {
+                    let pending = self.queues[node]
+                        .pop_front()
+                        .expect("contending node has a head frame");
+                    self.backoffs[node] = None;
+                    txs.push((node, pending));
+                }
+                Some(b) => {
+                    // Freeze rule: the elapsed slots are consumed.
+                    self.backoffs[node] = Some(b - min);
+                }
+                None => {}
+            }
+        }
+        debug_assert!(!txs.is_empty());
+        let airtime = txs
+            .iter()
+            .map(|(_, p)| self.airtime_of(&p.frame))
+            .max()
+            .expect("at least one transmission");
+        let end = now + airtime;
+        self.last_busy = airtime;
+        self.in_flight = Some(InFlight { txs, end });
+        self.epoch += 1;
+        Some(end)
+    }
+
+    /// Completes the in-flight transmission.
+    ///
+    /// Returns the transmissions that were on the air, flagged with
+    /// whether they collided. The caller decides deliveries (fault model)
+    /// and drives retries via [`Medium::retry_unicast`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transmission is in flight.
+    pub fn finish_tx(&mut self, now: SimTime) -> Vec<CompletedTx> {
+        let fl = self.in_flight.take().expect("finish_tx with no tx in flight");
+        debug_assert_eq!(now, fl.end, "TxEnd event at the wrong time");
+        self.free_at = fl.end;
+        let collision = fl.txs.len() > 1;
+        let mut done = Vec::with_capacity(fl.txs.len());
+        for (node, pending) in fl.txs {
+            done.push(CompletedTx {
+                node,
+                frame: pending.frame,
+                attempt: pending.attempt,
+                collision,
+            });
+        }
+        self.epoch += 1;
+        done
+    }
+
+    /// Time the channel was busy in the transmission reported by the last
+    /// [`Medium::finish_tx`].
+    pub fn last_busy(&self) -> Duration {
+        self.last_busy
+    }
+
+    /// Re-queues a unicast frame after a failed attempt.
+    ///
+    /// Returns `false` — and drops the frame — when the retry limit is
+    /// exhausted (the caller should report a MAC failure to the sender).
+    pub fn retry_unicast(
+        &mut self,
+        node: NodeId,
+        frame: Frame,
+        attempt: u32,
+        rng: &mut dyn RngCore,
+    ) -> bool {
+        self.epoch += 1;
+        let next_attempt = attempt + 1;
+        if next_attempt > self.phy.retry_limit {
+            self.after_head_done(node, rng);
+            return false;
+        }
+        self.queues[node].push_front(PendingTx {
+            frame,
+            attempt: next_attempt,
+        });
+        self.backoffs[node] = Some(self.draw_backoff(next_attempt, rng));
+        true
+    }
+
+    /// Restarts contention for `node` after its head frame left the
+    /// queue for good (success, broadcast loss, or retry exhaustion).
+    pub fn after_head_done(&mut self, node: NodeId, rng: &mut dyn RngCore) {
+        self.epoch += 1;
+        if let Some(head) = self.queues[node].front() {
+            let attempt = head.attempt;
+            self.backoffs[node] = Some(self.draw_backoff(attempt, rng));
+        } else {
+            self.backoffs[node] = None;
+        }
+    }
+
+    /// Number of frames queued at `node` (head included, in-flight
+    /// excluded).
+    pub fn queue_len(&self, node: NodeId) -> usize {
+        self.queues[node].len()
+    }
+
+    fn airtime_of(&self, frame: &Frame) -> Duration {
+        match frame.addressing {
+            Addressing::Broadcast => self.phy.broadcast_airtime(frame.mac_payload_len()),
+            Addressing::Unicast(_) => {
+                // Data + SIFS + ACK (or the equivalent ACK-timeout wait).
+                self.phy.unicast_exchange_airtime(frame.mac_payload_len())
+            }
+        }
+    }
+
+    fn draw_backoff(&self, attempt: u32, rng: &mut dyn RngCore) -> u32 {
+        let cw = self.phy.contention_window(attempt);
+        // cw + 1 is a power of two for 802.11 windows, so the modulo is
+        // exactly uniform (and trivially scriptable from tests).
+        rng.next_u32() % (cw + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    /// An RNG yielding a scripted sequence (for forcing backoff values).
+    struct ScriptRng {
+        values: Vec<u64>,
+        at: usize,
+    }
+
+    impl ScriptRng {
+        fn new(values: Vec<u64>) -> Self {
+            ScriptRng { values, at: 0 }
+        }
+    }
+
+    impl RngCore for ScriptRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let v = self.values[self.at % self.values.len()];
+            self.at += 1;
+            v
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest.iter_mut() {
+                *b = self.next_u64() as u8;
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    fn bc(src: NodeId, len: usize) -> Frame {
+        Frame {
+            src,
+            addressing: Addressing::Broadcast,
+            payload: Bytes::from(vec![0u8; len]),
+            transport_overhead: 0,
+        }
+    }
+
+    fn uc(src: NodeId, dst: NodeId, len: usize) -> Frame {
+        Frame {
+            src,
+            addressing: Addressing::Unicast(dst),
+            payload: Bytes::from(vec![0u8; len]),
+            transport_overhead: 0,
+        }
+    }
+
+    #[test]
+    fn single_broadcast_airs_after_difs_and_backoff() {
+        let phy = PhyConfig::default();
+        let mut m = Medium::new(2, phy);
+        // Scripted value 0 → backoff 0 slots.
+        let mut rng = ScriptRng::new(vec![0]);
+        m.enqueue(bc(0, 100), &mut rng);
+        let (at, epoch) = m.next_resolution(SimTime::ZERO).expect("contender present");
+        assert_eq!(at, SimTime::ZERO + phy.difs);
+        let end = m.resolve(at, epoch).expect("fresh epoch");
+        assert_eq!(end, at + phy.broadcast_airtime(100));
+        let done = m.finish_tx(end);
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].collision);
+        assert_eq!(done[0].node, 0);
+    }
+
+    #[test]
+    fn stale_epoch_ignored() {
+        let mut m = Medium::new(2, PhyConfig::default());
+        let mut rng = ScriptRng::new(vec![0]);
+        m.enqueue(bc(0, 10), &mut rng);
+        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+        m.enqueue(bc(1, 10), &mut rng); // bumps epoch
+        assert_eq!(m.resolve(at, epoch), None, "stale event must be ignored");
+        let (_, fresh) = m.next_resolution(SimTime::ZERO).unwrap();
+        assert!(m.resolve(at, fresh).is_some());
+    }
+
+    #[test]
+    fn equal_backoffs_collide() {
+        let phy = PhyConfig::default();
+        let mut m = Medium::new(3, phy);
+        let mut rng = ScriptRng::new(vec![5]);
+        m.enqueue(bc(0, 50), &mut rng);
+        m.enqueue(bc(1, 80), &mut rng);
+        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+        assert_eq!(at, SimTime::ZERO + phy.difs + phy.slot * 5);
+        let end = m.resolve(at, epoch).unwrap();
+        // Busy for the longer of the two frames.
+        assert_eq!(end, at + phy.broadcast_airtime(80));
+        let done = m.finish_tx(end);
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|t| t.collision));
+    }
+
+    #[test]
+    fn lower_backoff_wins_and_loser_decrements() {
+        let phy = PhyConfig::default();
+        let mut m = Medium::new(2, phy);
+        let mut rng = ScriptRng::new(vec![2, 7]);
+        m.enqueue(bc(0, 10), &mut rng); // backoff 2
+        m.enqueue(bc(1, 10), &mut rng); // backoff 7
+        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+        let end = m.resolve(at, epoch).unwrap();
+        let done = m.finish_tx(end);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].node, 0);
+        // Node 1's residual backoff is 7 − 2 = 5 slots after the busy
+        // period.
+        let (at2, _) = m.next_resolution(end).unwrap();
+        assert_eq!(at2, end + phy.difs + phy.slot * 5);
+    }
+
+    #[test]
+    fn unicast_busy_includes_ack_exchange() {
+        let phy = PhyConfig::default();
+        let mut m = Medium::new(2, phy);
+        let mut rng = ScriptRng::new(vec![0]);
+        m.enqueue(uc(0, 1, 100), &mut rng);
+        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+        let end = m.resolve(at, epoch).unwrap();
+        assert_eq!(end, at + phy.unicast_exchange_airtime(100));
+    }
+
+    #[test]
+    fn retry_respects_limit() {
+        let phy = PhyConfig::default();
+        let mut m = Medium::new(2, phy);
+        let mut rng = ScriptRng::new(vec![0]);
+        let frame = uc(0, 1, 10);
+        let mut attempt = 0;
+        // retry_limit retries allowed (attempts 1..=retry_limit).
+        for _ in 0..phy.retry_limit {
+            assert!(m.retry_unicast(0, frame.clone(), attempt, &mut rng));
+            attempt += 1;
+            // Clear the queue for the next retry call.
+            let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+            let end = m.resolve(at, epoch).unwrap();
+            let _ = m.finish_tx(end);
+        }
+        assert!(
+            !m.retry_unicast(0, frame, attempt, &mut rng),
+            "attempt {} must exceed the limit",
+            attempt + 1
+        );
+    }
+
+    #[test]
+    fn retry_goes_to_front_of_queue() {
+        let mut m = Medium::new(2, PhyConfig::default());
+        let mut rng = ScriptRng::new(vec![0]);
+        m.enqueue(uc(0, 1, 10), &mut rng);
+        m.enqueue(bc(0, 99), &mut rng); // queued behind
+        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+        let end = m.resolve(at, epoch).unwrap();
+        let done = m.finish_tx(end);
+        // Failed: retry must contend before the queued broadcast.
+        assert!(m.retry_unicast(0, done[0].frame.clone(), done[0].attempt, &mut rng));
+        let (at2, epoch2) = m.next_resolution(end).unwrap();
+        let end2 = m.resolve(at2, epoch2).unwrap();
+        let done2 = m.finish_tx(end2);
+        assert_eq!(done2[0].attempt, 1);
+        assert!(!done2[0].frame.is_broadcast());
+    }
+
+    #[test]
+    fn after_head_done_starts_next_frame() {
+        let mut m = Medium::new(2, PhyConfig::default());
+        let mut rng = ScriptRng::new(vec![0]);
+        m.enqueue(bc(0, 10), &mut rng);
+        m.enqueue(bc(0, 20), &mut rng); // same node, queued
+        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+        let end = m.resolve(at, epoch).unwrap();
+        let _ = m.finish_tx(end);
+        assert!(
+            m.next_resolution(end).is_none(),
+            "no contender until after_head_done"
+        );
+        m.after_head_done(0, &mut rng);
+        assert!(m.next_resolution(end).is_some());
+        assert_eq!(m.queue_len(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-unicast")]
+    fn self_unicast_rejected() {
+        let mut m = Medium::new(2, PhyConfig::default());
+        let mut rng = ScriptRng::new(vec![0]);
+        m.enqueue(uc(1, 1, 10), &mut rng);
+    }
+
+    #[test]
+    fn tx_queue_tail_drops_when_full() {
+        let phy = PhyConfig {
+            tx_queue_cap: 2,
+            ..PhyConfig::default()
+        };
+        let mut m = Medium::new(2, phy);
+        let mut rng = ScriptRng::new(vec![0]);
+        assert!(m.enqueue(bc(0, 10), &mut rng));
+        assert!(m.enqueue(bc(0, 11), &mut rng));
+        assert!(!m.enqueue(bc(0, 12), &mut rng), "third frame tail-drops");
+        assert_eq!(m.queue_len(0), 2);
+        // Another node's queue is independent.
+        assert!(m.enqueue(bc(1, 13), &mut rng));
+    }
+
+    #[test]
+    fn no_resolution_while_transmitting() {
+        let mut m = Medium::new(2, PhyConfig::default());
+        let mut rng = ScriptRng::new(vec![0]);
+        m.enqueue(bc(0, 10), &mut rng);
+        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+        let _ = m.resolve(at, epoch).unwrap();
+        m.enqueue(bc(1, 10), &mut rng);
+        assert!(m.next_resolution(at).is_none(), "channel is busy");
+        assert!(m.transmitting());
+    }
+}

@@ -1,0 +1,714 @@
+//! A TCP-like reliable, ordered, per-pair transport over the simulated
+//! medium.
+//!
+//! The baseline protocols of the paper's evaluation (Bracha, ABBA) assume
+//! the classic intrusion-tolerant model with *reliable point-to-point
+//! links*, which the authors implement with TCP. This module provides the
+//! equivalent: per-pair sequence numbers, cumulative acknowledgements
+//! piggybacked on reverse-direction data, delayed pure ACKs, an adaptive
+//! retransmission timeout (RFC 6298-style, Karn's rule), and recovery
+//! from MAC-level retry exhaustion. Combined with the MAC's own
+//! ACK/retransmission, this delivers every message to a live peer exactly
+//! once and in order — at the airtime price the paper's results hinge on:
+//! a logical broadcast costs `n − 1` unicast data frames plus their MAC
+//! ACKs (and occasional transport ACKs), versus one frame for UDP
+//! broadcast.
+//!
+//! Like real TCP, the endpoint applies **Nagle-style coalescing**: a
+//! message sent while earlier data is still unacknowledged is buffered
+//! and rides the next segment (flushed when the in-flight data is
+//! acknowledged, or immediately once a full MSS accumulates). Protocols
+//! that emit bursts — Bracha's reliable broadcast emits `O(n)` echoes
+//! and readies per delivery — get the segment-packing a kernel TCP stack
+//! would give them.
+//!
+//! [`ReliableEndpoint`] is a helper an [`crate::sim::Application`]
+//! embeds; the application forwards its `on_frame`, `on_timer`, and
+//! `on_unicast_failed` callbacks.
+
+use crate::config::overhead;
+use crate::frame::{NodeId, ReceivedFrame};
+use crate::sim::NodeCtx;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+
+/// Timer-id namespace bit reserved by the transport. Applications using
+/// a [`ReliableEndpoint`] must keep their own timer ids below this.
+pub const TRANSPORT_TIMER_FLAG: u64 = 1 << 63;
+
+const TICK_ID: u64 = TRANSPORT_TIMER_FLAG | 1;
+const TICK_INTERVAL: Duration = Duration::from_millis(5);
+const DELAYED_ACK: Duration = Duration::from_millis(10);
+const MIN_RTO: Duration = Duration::from_millis(200);
+const MAX_RTO: Duration = Duration::from_secs(3);
+
+const MAGIC: u8 = 0x54; // 'T'
+const KIND_DATA: u8 = 1;
+const KIND_ACK: u8 = 2;
+const HEADER_LEN: usize = 1 + 1 + 8 + 8;
+/// Maximum segment payload (Ethernet-class MSS minus headers).
+const MSS: usize = 1400;
+
+#[derive(Debug)]
+struct Unacked {
+    seq: u64,
+    payload: Bytes,
+    sent_at: crate::time::SimTime,
+    retransmitted: bool,
+    rto_deadline: crate::time::SimTime,
+}
+
+#[derive(Debug)]
+struct PeerState {
+    next_seq_out: u64,
+    /// Messages awaiting segment assignment (Nagle buffer).
+    pending: Vec<Bytes>,
+    pending_bytes: usize,
+    unacked: VecDeque<Unacked>,
+    next_expected_in: u64,
+    reorder: BTreeMap<u64, Bytes>,
+    srtt: Option<Duration>,
+    rttvar: Duration,
+    rto: Duration,
+    ack_due_at: Option<crate::time::SimTime>,
+    mac_failed: bool,
+}
+
+impl PeerState {
+    fn new() -> Self {
+        PeerState {
+            next_seq_out: 0,
+            pending: Vec::new(),
+            pending_bytes: 0,
+            unacked: VecDeque::new(),
+            next_expected_in: 0,
+            reorder: BTreeMap::new(),
+            srtt: None,
+            rttvar: Duration::ZERO,
+            rto: MIN_RTO,
+            ack_due_at: None,
+            mac_failed: false,
+        }
+    }
+
+    fn update_rtt(&mut self, sample: Duration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                let diff = if srtt > sample {
+                    srtt - sample
+                } else {
+                    sample - srtt
+                };
+                self.rttvar = (self.rttvar * 3 + diff) / 4;
+                self.srtt = Some((srtt * 7 + sample) / 8);
+            }
+        }
+        let rto = self.srtt.expect("just set") + 4 * self.rttvar;
+        self.rto = rto.clamp(MIN_RTO, MAX_RTO);
+    }
+}
+
+/// Reliable ordered transport endpoint for one node.
+///
+/// # Example (inside an `Application`)
+///
+/// ```no_run
+/// use wireless_net::reliable::ReliableEndpoint;
+/// use wireless_net::sim::{Application, NodeCtx};
+/// use wireless_net::frame::ReceivedFrame;
+/// use bytes::Bytes;
+///
+/// struct Echo {
+///     transport: ReliableEndpoint,
+/// }
+///
+/// impl Application for Echo {
+///     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+///         self.transport.send(ctx, 1, Bytes::from_static(b"ping"));
+///     }
+///     fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: ReceivedFrame) {
+///         for (peer, msg) in self.transport.on_frame(ctx, &frame) {
+///             self.transport.send(ctx, peer, msg); // echo back
+///         }
+///     }
+///     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: u64) {
+///         let _ = self.transport.on_timer(ctx, timer);
+///     }
+///     fn on_unicast_failed(&mut self, ctx: &mut NodeCtx<'_>, dst: usize, payload: Bytes) {
+///         self.transport.on_unicast_failed(ctx, dst, payload);
+///     }
+/// }
+/// ```
+#[derive(Debug)]
+pub struct ReliableEndpoint {
+    node: NodeId,
+    peers: Vec<PeerState>,
+    tick_armed: bool,
+    delivered_messages: u64,
+    sent_messages: u64,
+    transport_retransmits: u64,
+}
+
+impl ReliableEndpoint {
+    /// Creates the endpoint for `node` in a network of `n` nodes.
+    pub fn new(node: NodeId, n: usize) -> Self {
+        ReliableEndpoint {
+            node,
+            peers: (0..n).map(|_| PeerState::new()).collect(),
+            tick_armed: false,
+            delivered_messages: 0,
+            sent_messages: 0,
+            transport_retransmits: 0,
+        }
+    }
+
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Application messages delivered in order so far.
+    pub fn delivered_messages(&self) -> u64 {
+        self.delivered_messages
+    }
+
+    /// Application messages accepted for sending so far.
+    pub fn sent_messages(&self) -> u64 {
+        self.sent_messages
+    }
+
+    /// Transport-level (not MAC-level) retransmissions performed.
+    pub fn transport_retransmits(&self) -> u64 {
+        self.transport_retransmits
+    }
+
+    /// Sends `payload` reliably and in order to `dst`.
+    ///
+    /// Transmits immediately when no data is in flight to `dst`;
+    /// otherwise the message joins the Nagle buffer and rides the next
+    /// segment (on acknowledgement, or as soon as a full MSS
+    /// accumulates).
+    pub fn send(&mut self, ctx: &mut NodeCtx<'_>, dst: NodeId, payload: Bytes) {
+        self.sent_messages += 1;
+        let peer = &mut self.peers[dst];
+        peer.pending_bytes += payload.len() + 2;
+        peer.pending.push(payload);
+        if peer.unacked.is_empty() || peer.pending_bytes >= MSS {
+            self.flush(ctx, dst);
+        }
+        self.arm_tick(ctx);
+    }
+
+    /// Packs the Nagle buffer into one segment (up to MSS) and
+    /// transmits it.
+    fn flush(&mut self, ctx: &mut NodeCtx<'_>, dst: NodeId) {
+        let now = ctx.now();
+        let peer = &mut self.peers[dst];
+        while !peer.pending.is_empty() {
+            // Take messages until the MSS would be exceeded (always at
+            // least one).
+            let mut batch = Vec::new();
+            let mut bytes = 0usize;
+            while let Some(front) = peer.pending.first() {
+                let add = front.len() + 2;
+                if !batch.is_empty() && bytes + add > MSS {
+                    break;
+                }
+                bytes += add;
+                batch.push(peer.pending.remove(0));
+            }
+            peer.pending_bytes = peer.pending_bytes.saturating_sub(bytes);
+            let payload = pack_batch(&batch);
+            let seq = peer.next_seq_out;
+            peer.next_seq_out += 1;
+            let ack = peer.next_expected_in;
+            peer.ack_due_at = None; // piggybacked
+            let rto = peer.rto;
+            peer.unacked.push_back(Unacked {
+                seq,
+                payload: payload.clone(),
+                sent_at: now,
+                retransmitted: false,
+                rto_deadline: now + rto,
+            });
+            let segment = encode(KIND_DATA, seq, ack, &payload);
+            ctx.unicast(dst, segment, overhead::TCP);
+            // Only the first segment goes out eagerly; the rest wait for
+            // acks unless a full MSS is already queued.
+            if peer.pending_bytes < MSS {
+                break;
+            }
+        }
+    }
+
+    /// Sends `payload` reliably to every node (including self, via
+    /// loopback) — the "broadcast" of a reliable point-to-point system:
+    /// `n` separate sends.
+    pub fn send_to_all(&mut self, ctx: &mut NodeCtx<'_>, payload: &Bytes) {
+        for dst in 0..self.peers.len() {
+            self.send(ctx, dst, payload.clone());
+        }
+    }
+
+    /// Processes a received frame. Returns the application messages this
+    /// frame released, in order, as `(peer, payload)` pairs. Frames that
+    /// are not transport segments are ignored (returns empty).
+    pub fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &ReceivedFrame) -> Vec<(NodeId, Bytes)> {
+        let Some((kind, seq, ack, payload)) = decode(&frame.payload) else {
+            return Vec::new();
+        };
+        let src = frame.src;
+        if src >= self.peers.len() {
+            return Vec::new();
+        }
+        let now = ctx.now();
+        if self.process_ack(src, ack, now) {
+            // The pipe drained and the Nagle buffer has data: flush it.
+            self.flush(ctx, src);
+        }
+        let mut released = Vec::new();
+        if kind == KIND_DATA {
+            let peer = &mut self.peers[src];
+            if seq == peer.next_expected_in {
+                peer.next_expected_in += 1;
+                for msg in unpack_batch(&payload) {
+                    released.push((src, msg));
+                }
+                while let Some(p) = peer.reorder.remove(&peer.next_expected_in) {
+                    peer.next_expected_in += 1;
+                    for msg in unpack_batch(&p) {
+                        released.push((src, msg));
+                    }
+                }
+                self.delivered_messages += released.len() as u64;
+            } else if seq > peer.next_expected_in {
+                peer.reorder.insert(seq, payload);
+            }
+            // Duplicate or old segment: just (re-)ack.
+            let peer = &mut self.peers[src];
+            if peer.ack_due_at.is_none() {
+                peer.ack_due_at = Some(now + DELAYED_ACK);
+            }
+            self.arm_tick(ctx);
+        }
+        released
+    }
+
+    /// Handles a transport tick or ignores foreign timers. Returns `true`
+    /// when the timer belonged to the transport.
+    pub fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: u64) -> bool {
+        if timer != TICK_ID {
+            return false;
+        }
+        self.tick_armed = false;
+        let now = ctx.now();
+        let mut work_left = false;
+        for dst in 0..self.peers.len() {
+            // Pure ACK if the delayed-ack clock expired.
+            if let Some(due) = self.peers[dst].ack_due_at {
+                if now >= due {
+                    let ack = self.peers[dst].next_expected_in;
+                    let next_seq = self.peers[dst].next_seq_out;
+                    self.peers[dst].ack_due_at = None;
+                    let segment = encode(KIND_ACK, next_seq, ack, &Bytes::new());
+                    ctx.unicast(dst, segment, overhead::TCP_ACK_SEGMENT);
+                } else {
+                    work_left = true;
+                }
+            }
+            // Retransmit on RTO expiry or MAC failure.
+            let mac_failed = std::mem::take(&mut self.peers[dst].mac_failed);
+            let expired = self.peers[dst]
+                .unacked
+                .front()
+                .is_some_and(|u| mac_failed || now >= u.rto_deadline);
+            if expired {
+                let rto = (self.peers[dst].rto * 2).min(MAX_RTO);
+                self.peers[dst].rto = rto;
+                let ack = self.peers[dst].next_expected_in;
+                let head = self.peers[dst].unacked.front_mut().expect("checked");
+                head.retransmitted = true;
+                head.rto_deadline = now + rto;
+                let segment = encode(KIND_DATA, head.seq, ack, &head.payload);
+                self.transport_retransmits += 1;
+                ctx.unicast(dst, segment, overhead::TCP);
+            }
+            if !self.peers[dst].unacked.is_empty() || !self.peers[dst].pending.is_empty() {
+                work_left = true;
+            }
+        }
+        if work_left {
+            self.arm_tick(ctx);
+        }
+        true
+    }
+
+    /// Notifies the transport that the MAC gave up on a unicast frame to
+    /// `dst`; the affected segment is retransmitted on the next tick.
+    pub fn on_unicast_failed(&mut self, ctx: &mut NodeCtx<'_>, dst: NodeId, _payload: Bytes) {
+        if dst < self.peers.len() && !self.peers[dst].unacked.is_empty() {
+            self.peers[dst].mac_failed = true;
+            self.arm_tick(ctx);
+        }
+    }
+
+    fn process_ack(&mut self, src: NodeId, ack: u64, now: crate::time::SimTime) -> bool {
+        let peer = &mut self.peers[src];
+        let mut newest_sample: Option<Duration> = None;
+        while let Some(front) = peer.unacked.front() {
+            if front.seq < ack {
+                let u = peer.unacked.pop_front().expect("front checked");
+                if !u.retransmitted {
+                    newest_sample = Some(now.saturating_since(u.sent_at));
+                }
+            } else {
+                break;
+            }
+        }
+        if let Some(sample) = newest_sample {
+            peer.update_rtt(sample);
+        }
+        peer.unacked.is_empty() && !peer.pending.is_empty()
+    }
+
+    fn arm_tick(&mut self, ctx: &mut NodeCtx<'_>) {
+        if !self.tick_armed {
+            self.tick_armed = true;
+            ctx.set_timer(TICK_INTERVAL, TICK_ID);
+        }
+    }
+}
+
+fn pack_batch(messages: &[Bytes]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(2 + messages.iter().map(|m| m.len() + 2).sum::<usize>());
+    buf.put_u16(messages.len() as u16);
+    for m in messages {
+        buf.put_u16(m.len() as u16);
+        buf.put_slice(m);
+    }
+    buf.freeze()
+}
+
+fn unpack_batch(payload: &Bytes) -> Vec<Bytes> {
+    let mut out = Vec::new();
+    if payload.len() < 2 {
+        return out;
+    }
+    let count = u16::from_be_bytes([payload[0], payload[1]]) as usize;
+    let mut at = 2usize;
+    for _ in 0..count {
+        if at + 2 > payload.len() {
+            return Vec::new(); // malformed batch: drop whole segment
+        }
+        let len = u16::from_be_bytes([payload[at], payload[at + 1]]) as usize;
+        at += 2;
+        if at + len > payload.len() {
+            return Vec::new();
+        }
+        out.push(payload.slice(at..at + len));
+        at += len;
+    }
+    out
+}
+
+fn encode(kind: u8, seq: u64, ack: u64, payload: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
+    buf.put_u8(MAGIC);
+    buf.put_u8(kind);
+    buf.put_u64(seq);
+    buf.put_u64(ack);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+fn decode(bytes: &Bytes) -> Option<(u8, u64, u64, Bytes)> {
+    if bytes.len() < HEADER_LEN || bytes[0] != MAGIC {
+        return None;
+    }
+    let kind = bytes[1];
+    if kind != KIND_DATA && kind != KIND_ACK {
+        return None;
+    }
+    let seq = u64::from_be_bytes(bytes[2..10].try_into().ok()?);
+    let ack = u64::from_be_bytes(bytes[10..18].try_into().ok()?);
+    Some((kind, seq, ack, bytes.slice(HEADER_LEN..)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{IidLoss, NoFaults, TargetedLoss};
+    use crate::sim::{Application, SimConfig, Simulator};
+    use crate::time::SimTime;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn codec_round_trip() {
+        let seg = encode(KIND_DATA, 7, 3, &Bytes::from_static(b"payload"));
+        let (kind, seq, ack, payload) = decode(&seg).expect("valid segment");
+        assert_eq!(kind, KIND_DATA);
+        assert_eq!(seq, 7);
+        assert_eq!(ack, 3);
+        assert_eq!(&payload[..], b"payload");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&Bytes::from_static(b"")).is_none());
+        assert!(decode(&Bytes::from_static(b"short")).is_none());
+        let mut bad_magic = encode(KIND_DATA, 0, 0, &Bytes::new()).to_vec();
+        bad_magic[0] = 0xff;
+        assert!(decode(&Bytes::from(bad_magic)).is_none());
+        let mut bad_kind = encode(KIND_DATA, 0, 0, &Bytes::new()).to_vec();
+        bad_kind[1] = 77;
+        assert!(decode(&Bytes::from(bad_kind)).is_none());
+    }
+
+    type Inbox = Rc<RefCell<Vec<(NodeId, Vec<u8>)>>>;
+
+    /// Sends `count` messages to every peer at start; records ordered
+    /// deliveries.
+    struct Flood {
+        transport: ReliableEndpoint,
+        count: usize,
+        inbox: Inbox,
+    }
+
+    impl Application for Flood {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            for i in 0..self.count {
+                let msg = format!("m{}-{}", ctx.node(), i);
+                let payload = Bytes::from(msg.into_bytes());
+                self.transport.send_to_all(ctx, &payload);
+            }
+        }
+        fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: ReceivedFrame) {
+            for (peer, msg) in self.transport.on_frame(ctx, &frame) {
+                self.inbox.borrow_mut().push((peer, msg.to_vec()));
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: u64) {
+            let _ = self.transport.on_timer(ctx, timer);
+        }
+        fn on_unicast_failed(&mut self, ctx: &mut NodeCtx<'_>, dst: NodeId, payload: Bytes) {
+            self.transport.on_unicast_failed(ctx, dst, payload);
+        }
+    }
+
+    fn flood_sim(
+        n: usize,
+        count: usize,
+        seed: u64,
+        fault: Box<dyn crate::fault::FaultModel>,
+    ) -> (Simulator, Vec<Inbox>) {
+        let inboxes: Vec<Inbox> = (0..n).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
+        let apps: Vec<Box<dyn Application>> = inboxes
+            .iter()
+            .enumerate()
+            .map(|(i, inbox)| {
+                Box::new(Flood {
+                    transport: ReliableEndpoint::new(i, n),
+                    count,
+                    inbox: inbox.clone(),
+                }) as Box<dyn Application>
+            })
+            .collect();
+        let cfg = SimConfig {
+            seed,
+            ..SimConfig::default()
+        };
+        (Simulator::new(cfg, fault, apps), inboxes)
+    }
+
+    fn assert_all_delivered_in_order(inboxes: &[Inbox], n: usize, count: usize) {
+        for (rx, inbox) in inboxes.iter().enumerate() {
+            let got = inbox.borrow();
+            for src in 0..n {
+                let from_src: Vec<&Vec<u8>> = got
+                    .iter()
+                    .filter(|(s, _)| *s == src)
+                    .map(|(_, m)| m)
+                    .collect();
+                assert_eq!(
+                    from_src.len(),
+                    count,
+                    "node {rx} expected {count} messages from {src}"
+                );
+                for (i, msg) in from_src.iter().enumerate() {
+                    let expected = format!("m{src}-{i}");
+                    assert_eq!(
+                        msg.as_slice(),
+                        expected.as_bytes(),
+                        "node {rx} message {i} from {src} out of order"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_delivery_in_order() {
+        let (mut sim, inboxes) = flood_sim(3, 5, 11, Box::new(NoFaults));
+        sim.run_until(SimTime::from_millis(5_000), |_| false);
+        assert_all_delivered_in_order(&inboxes, 3, 5);
+    }
+
+    #[test]
+    fn delivery_survives_heavy_loss() {
+        // 40% loss: MAC ARQ plus transport retransmission must still get
+        // every message through, in order, exactly once.
+        let (mut sim, inboxes) = flood_sim(3, 5, 13, Box::new(IidLoss::new(0.4, 21)));
+        sim.run_until(SimTime::from_millis(30_000), |_| false);
+        assert_all_delivered_in_order(&inboxes, 3, 5);
+        assert!(sim.stats().fault_drops > 0, "loss must actually occur");
+    }
+
+    #[test]
+    fn delivery_survives_total_blackout_of_one_direction_then_recovers() {
+        // All deliveries to node 1 dropped: MAC fails, transport keeps
+        // retrying. (Jamming that later clears is covered by the
+        // integration tests; here we check nothing deadlocks and other
+        // pairs complete.)
+        let fault = TargetedLoss::new(vec![], vec![1], 1.0, 5);
+        let (mut sim, inboxes) = flood_sim(3, 2, 17, Box::new(fault));
+        sim.run_until(SimTime::from_millis(2_000), |_| false);
+        // Nodes 0 and 2 exchange everything despite node 1 being deaf.
+        for rx in [0usize, 2] {
+            let got = inboxes[rx].borrow();
+            for src in [0usize, 2] {
+                let cnt = got.iter().filter(|(s, _)| *s == src).count();
+                assert_eq!(cnt, 2, "node {rx} should have node {src}'s messages");
+            }
+        }
+        assert!(sim.stats().mac_failures > 0);
+    }
+
+    #[test]
+    fn no_duplicate_deliveries_under_loss() {
+        let (mut sim, inboxes) = flood_sim(2, 10, 29, Box::new(IidLoss::new(0.3, 7)));
+        sim.run_until(SimTime::from_millis(30_000), |_| false);
+        for inbox in &inboxes {
+            let got = inbox.borrow();
+            let mut seen = std::collections::BTreeSet::new();
+            for (src, msg) in got.iter() {
+                assert!(
+                    seen.insert((*src, msg.clone())),
+                    "duplicate delivery of {msg:?} from {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_pack_unpack_round_trip() {
+        let msgs = vec![
+            Bytes::from_static(b"alpha"),
+            Bytes::from_static(b""),
+            Bytes::from_static(b"gamma-gamma"),
+        ];
+        let packed = pack_batch(&msgs);
+        assert_eq!(unpack_batch(&packed), msgs);
+        assert!(unpack_batch(&Bytes::from_static(b"")).is_empty());
+        // Malformed batches (bad inner length) drop cleanly.
+        let mut bad = packed.to_vec();
+        bad[2] = 0xff; // first chunk length high byte
+        bad[3] = 0xff;
+        assert!(unpack_batch(&Bytes::from(bad)).is_empty());
+    }
+
+    #[test]
+    fn nagle_coalesces_burst_into_few_segments() {
+        // One sender bursts 20 small messages to one receiver: the first
+        // flies alone, the rest coalesce behind acknowledgements — far
+        // fewer than 20 data segments hit the air.
+        struct Burst {
+            transport: ReliableEndpoint,
+            inbox: Rc<RefCell<Vec<Bytes>>>,
+        }
+        impl Application for Burst {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                if ctx.node() == 0 {
+                    for i in 0..20u8 {
+                        self.transport.send(ctx, 1, Bytes::from(vec![i; 8]));
+                    }
+                }
+            }
+            fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: ReceivedFrame) {
+                for (_, m) in self.transport.on_frame(ctx, &frame) {
+                    self.inbox.borrow_mut().push(m);
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: u64) {
+                let _ = self.transport.on_timer(ctx, timer);
+            }
+            fn on_unicast_failed(&mut self, ctx: &mut NodeCtx<'_>, dst: NodeId, p: Bytes) {
+                self.transport.on_unicast_failed(ctx, dst, p);
+            }
+        }
+        let inbox = Rc::new(RefCell::new(Vec::new()));
+        let apps: Vec<Box<dyn Application>> = vec![
+            Box::new(Burst {
+                transport: ReliableEndpoint::new(0, 2),
+                inbox: Rc::new(RefCell::new(Vec::new())),
+            }),
+            Box::new(Burst {
+                transport: ReliableEndpoint::new(1, 2),
+                inbox: inbox.clone(),
+            }),
+        ];
+        let mut sim = Simulator::without_faults(
+            SimConfig {
+                seed: 3,
+                ..SimConfig::default()
+            },
+            apps,
+        );
+        sim.run_until(SimTime::from_millis(5_000), |_| false);
+        assert_eq!(inbox.borrow().len(), 20, "all messages delivered");
+        // 20 messages must travel in far fewer data segments (1 eager +
+        // a handful of coalesced flushes + pure acks).
+        assert!(
+            sim.stats().unicast_frames_sent < 20,
+            "expected coalescing, saw {} frames",
+            sim.stats().unicast_frames_sent
+        );
+    }
+
+    #[test]
+    fn transport_timer_namespace_respected() {
+        let mut ep = ReliableEndpoint::new(0, 2);
+        assert_eq!(ep.node(), 0);
+        // Foreign timers are not consumed. (NodeCtx cannot be built
+        // outside the simulator, so exercise through a tiny sim.)
+        struct Probe {
+            ep: ReliableEndpoint,
+            foreign_seen: Rc<RefCell<bool>>,
+        }
+        impl Application for Probe {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(Duration::from_millis(1), 7); // app timer
+            }
+            fn on_frame(&mut self, _ctx: &mut NodeCtx<'_>, _frame: ReceivedFrame) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: u64) {
+                if !self.ep.on_timer(ctx, timer) {
+                    *self.foreign_seen.borrow_mut() = true;
+                    assert_eq!(timer, 7);
+                }
+            }
+        }
+        let seen = Rc::new(RefCell::new(false));
+        let apps: Vec<Box<dyn Application>> = vec![Box::new(Probe {
+            ep: std::mem::replace(&mut ep, ReliableEndpoint::new(0, 2)),
+            foreign_seen: seen.clone(),
+        })];
+        let mut sim = Simulator::without_faults(SimConfig::default(), apps);
+        sim.run_until(SimTime::from_millis(100), |_| false);
+        assert!(*seen.borrow());
+    }
+}

@@ -1,0 +1,1008 @@
+//! The discrete-event simulator: nodes, applications, event loop.
+//!
+//! A [`Simulator`] owns `n` nodes, each running one [`Application`]
+//! (a protocol adapter), a shared [`Medium`], and an injected
+//! [`FaultModel`]. Everything is deterministic given the seed.
+//!
+//! Applications are *sans-io callbacks*: they react to `on_start`,
+//! `on_timer`, and `on_frame`, and issue commands through [`NodeCtx`]
+//! (broadcast, unicast, timers, CPU charging, decisions). CPU charges
+//! accumulate into a per-node virtual clock — a node whose CPU is busy
+//! (e.g. verifying an RSA signature) receives later deliveries later,
+//! exactly the effect the paper's cost argument rests on.
+
+use crate::fault::{DeliveryCtx, FaultModel, NoFaults};
+use crate::frame::{Addressing, Frame, NodeId, ReceivedFrame};
+use crate::medium::Medium;
+use crate::stats::NetStats;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// A protocol running on one simulated node.
+///
+/// Callbacks receive a [`NodeCtx`] for issuing commands. All methods are
+/// invoked with the node's CPU considered free; any CPU charged via
+/// [`NodeCtx::charge_cpu`] delays the node's subsequent events.
+pub trait Application {
+    /// Invoked once when the node starts (at its start-jitter offset).
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>);
+
+    /// Invoked when a frame is delivered to this node.
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: ReceivedFrame);
+
+    /// Invoked when a timer set via [`NodeCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: u64);
+
+    /// Invoked when the MAC gives up on a unicast frame after exhausting
+    /// its retry limit. Default: ignore (UDP semantics).
+    fn on_unicast_failed(&mut self, _ctx: &mut NodeCtx<'_>, _dst: NodeId, _payload: Bytes) {}
+
+    /// Downcast hook for post-run inspection (`Simulator::app`). Return
+    /// `self` to allow tests and experiment drivers to reach protocol
+    /// internals.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// A no-op application: never sends, never reacts. Used for crashed
+/// nodes (the fail-stop fault load) and as an internal placeholder.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CrashedApp;
+
+impl Application for CrashedApp {
+    fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
+    fn on_frame(&mut self, _ctx: &mut NodeCtx<'_>, _frame: ReceivedFrame) {}
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: u64) {}
+}
+
+enum Command {
+    Broadcast { payload: Bytes, overhead: usize },
+    Unicast { dst: NodeId, payload: Bytes, overhead: usize },
+    SetTimer { delay: Duration, id: u64 },
+    Decide { value: bool },
+}
+
+/// Command interface handed to application callbacks.
+pub struct NodeCtx<'a> {
+    node: NodeId,
+    now: SimTime,
+    charged: Duration,
+    commands: Vec<Command>,
+    rng: &'a mut StdRng,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// This node's identifier.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time (when this callback logically runs).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Deterministic per-node random source.
+    pub fn rng(&mut self) -> &mut impl RngCore {
+        &mut *self.rng
+    }
+
+    /// Flips an unbiased local coin — the `coin_i()` primitive of the
+    /// paper's Algorithm 1.
+    pub fn coin(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+
+    /// Charges `cost` of CPU time to this node; effects of this callback
+    /// (sends, timers, decisions) take place after the charge.
+    pub fn charge_cpu(&mut self, cost: Duration) {
+        self.charged += cost;
+    }
+
+    /// Broadcasts `payload` as a single link-layer broadcast frame with
+    /// `overhead` bytes of transport headers (UDP broadcast: one frame
+    /// reaches every node in range — the paper's key efficiency lever).
+    ///
+    /// The sender also receives its own broadcast via OS loopback,
+    /// matching `broadcast(m)` delivering to every process *including
+    /// itself* (paper §3).
+    pub fn broadcast(&mut self, payload: Bytes, overhead: usize) {
+        self.commands.push(Command::Broadcast { payload, overhead });
+    }
+
+    /// Sends `payload` to `dst` as a unicast frame (ACKed, retried by the
+    /// MAC). Sends to self are looped back without touching the radio.
+    pub fn unicast(&mut self, dst: NodeId, payload: Bytes, overhead: usize) {
+        self.commands.push(Command::Unicast {
+            dst,
+            payload,
+            overhead,
+        });
+    }
+
+    /// Arms a one-shot timer that fires `delay` after this callback's
+    /// effects apply, delivering `id` to [`Application::on_timer`].
+    pub fn set_timer(&mut self, delay: Duration, id: u64) {
+        self.commands.push(Command::SetTimer { delay, id });
+    }
+
+    /// Records this node's consensus decision. Only the first call per
+    /// node is recorded (further decisions in the protocol are no-ops,
+    /// per Algorithm 1's write-once `decision_i`).
+    pub fn decide(&mut self, value: bool) {
+        self.commands.push(Command::Decide { value });
+    }
+}
+
+/// A recorded consensus decision.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct Decision {
+    /// When the node decided.
+    pub time: SimTime,
+    /// The decided binary value.
+    pub value: bool,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Start(NodeId),
+    Timer { node: NodeId, id: u64 },
+    EnqueueTx(Frame),
+    Deliver { node: NodeId, frame: ReceivedFrame },
+    ContentionResolve { epoch: u64 },
+    TxEnd,
+    MacFailure { node: NodeId, dst: NodeId, payload: Bytes },
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// PHY/MAC parameters.
+    pub phy: crate::config::PhyConfig,
+    /// Master seed; all node RNGs and the MAC backoff RNG derive from it.
+    pub seed: u64,
+    /// Each node's `on_start` fires at a uniform offset in
+    /// `[0, start_jitter]`, modelling the arrival spread of the signaling
+    /// machine's trigger broadcast (paper §7.2).
+    pub start_jitter: Duration,
+    /// Number of events retained by the network trace (0 = tracing off,
+    /// the default; see [`crate::trace`]).
+    pub trace_capacity: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            phy: crate::config::PhyConfig::default(),
+            seed: 0,
+            start_jitter: Duration::from_micros(500),
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// Outcome of a bounded simulator run.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum RunStatus {
+    /// The stop predicate was satisfied.
+    Satisfied,
+    /// The time limit was reached first.
+    TimeLimit,
+    /// The event queue drained (deadlock or natural quiescence).
+    Quiescent,
+}
+
+/// The discrete-event simulator. See the module docs.
+pub struct Simulator {
+    cfg: SimConfig,
+    time: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    apps: Vec<Box<dyn Application>>,
+    node_rngs: Vec<StdRng>,
+    busy_until: Vec<SimTime>,
+    started: Vec<bool>,
+    start_times: Vec<SimTime>,
+    decisions: Vec<Option<Decision>>,
+    medium: Medium,
+    mac_rng: StdRng,
+    fault: Box<dyn FaultModel>,
+    stats: NetStats,
+    trace: Trace,
+    loopback_latency: Duration,
+}
+
+impl Simulator {
+    /// Creates a simulator over `apps` (one application per node) with
+    /// the given fault model.
+    pub fn new(cfg: SimConfig, fault: Box<dyn FaultModel>, apps: Vec<Box<dyn Application>>) -> Self {
+        let n = apps.len();
+        assert!(n > 0, "at least one node required");
+        let mut boot_rng = StdRng::seed_from_u64(cfg.seed ^ 0x0b00_7a11);
+        let node_rngs = (0..n)
+            .map(|_| StdRng::seed_from_u64(boot_rng.gen()))
+            .collect();
+        let mac_rng = StdRng::seed_from_u64(boot_rng.gen());
+        let mut sim = Simulator {
+            time: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            node_rngs,
+            busy_until: vec![SimTime::ZERO; n],
+            started: vec![false; n],
+            start_times: vec![SimTime::ZERO; n],
+            decisions: vec![None; n],
+            medium: Medium::new(n, cfg.phy),
+            mac_rng,
+            fault,
+            stats: NetStats::new(n),
+            trace: Trace::new(cfg.trace_capacity),
+            loopback_latency: Duration::from_micros(5),
+            apps,
+            cfg,
+        };
+        let jitter_ns = sim.cfg.start_jitter.as_nanos() as u64;
+        for node in 0..n {
+            let offset = if jitter_ns == 0 {
+                0
+            } else {
+                boot_rng.gen_range(0..=jitter_ns)
+            };
+            let at = SimTime::from_nanos(offset);
+            sim.start_times[node] = at;
+            sim.push(at, EventKind::Start(node));
+        }
+        sim
+    }
+
+    /// Convenience constructor with no injected faults.
+    pub fn without_faults(cfg: SimConfig, apps: Vec<Box<dyn Application>>) -> Self {
+        Self::new(cfg, Box::new(NoFaults), apps)
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Per-node start instants (after jitter).
+    pub fn start_times(&self) -> &[SimTime] {
+        &self.start_times
+    }
+
+    /// Per-node recorded decisions.
+    pub fn decisions(&self) -> &[Option<Decision>] {
+        &self.decisions
+    }
+
+    /// Network statistics accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The network trace (empty unless `SimConfig::trace_capacity > 0`).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Immutable access to an application, for post-run inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn app(&self, node: NodeId) -> &dyn Application {
+        self.apps[node].as_ref()
+    }
+
+    /// Number of nodes that have decided.
+    pub fn decided_count(&self) -> usize {
+        self.decisions.iter().flatten().count()
+    }
+
+    /// Processes a single event. Returns `false` if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.time, "time must be monotonic");
+        self.time = ev.at;
+        match ev.kind {
+            EventKind::Start(node) => {
+                self.started[node] = true;
+                self.dispatch(node, |app, ctx| app.on_start(ctx));
+            }
+            EventKind::Timer { node, id } => {
+                self.dispatch_gated(node, ev.at, EventKind::Timer { node, id }, |app, ctx| {
+                    app.on_timer(ctx, id)
+                });
+            }
+            EventKind::Deliver { node, frame } => {
+                // Defer to when the node's CPU is free.
+                if self.busy_until[node] > ev.at {
+                    let at = self.busy_until[node];
+                    self.push(at, EventKind::Deliver { node, frame });
+                } else {
+                    self.stats.deliveries += 1;
+                    self.stats.per_node_rx[node] += 1;
+                    self.dispatch(node, move |app, ctx| app.on_frame(ctx, frame));
+                }
+            }
+            EventKind::EnqueueTx(frame) => {
+                let node = frame.src;
+                if !self.medium.enqueue(frame, &mut self.mac_rng) {
+                    self.stats.queue_drops += 1;
+                    self.trace.record(self.time, TraceEvent::QueueDrop { node });
+                }
+                self.reschedule_contention();
+            }
+            EventKind::ContentionResolve { epoch } => {
+                if let Some(end) = self.medium.resolve(ev.at, epoch) {
+                    self.push(end, EventKind::TxEnd);
+                }
+                // Stale events need no rescheduling: whatever bumped the
+                // epoch also rescheduled.
+            }
+            EventKind::TxEnd => {
+                self.handle_tx_end(ev.at);
+            }
+            EventKind::MacFailure { node, dst, payload } => {
+                self.dispatch(node, move |app, ctx| {
+                    app.on_unicast_failed(ctx, dst, payload)
+                });
+            }
+        }
+        true
+    }
+
+    /// Runs until `pred(self)` holds, the time limit passes, or the event
+    /// queue drains.
+    pub fn run_until(
+        &mut self,
+        limit: SimTime,
+        mut pred: impl FnMut(&Simulator) -> bool,
+    ) -> RunStatus {
+        loop {
+            if pred(self) {
+                return RunStatus::Satisfied;
+            }
+            match self.queue.peek() {
+                None => return RunStatus::Quiescent,
+                Some(Reverse(ev)) if ev.at > limit => return RunStatus::TimeLimit,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Runs until at least `k` nodes have decided (or limit/quiescence).
+    pub fn run_until_k_decided(&mut self, k: usize, limit: SimTime) -> RunStatus {
+        self.run_until(limit, |sim| sim.decided_count() >= k)
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Dispatches a callback, deferring the whole event if the node's CPU
+    /// is still busy (used for timers, whose `EventKind` can be cheaply
+    /// re-queued).
+    fn dispatch_gated(
+        &mut self,
+        node: NodeId,
+        at: SimTime,
+        requeue: EventKind,
+        run: impl FnOnce(&mut dyn Application, &mut NodeCtx<'_>),
+    ) {
+        if self.busy_until[node] > at {
+            let t = self.busy_until[node];
+            self.push(t, requeue);
+        } else {
+            self.dispatch(node, run);
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        node: NodeId,
+        run: impl FnOnce(&mut dyn Application, &mut NodeCtx<'_>),
+    ) {
+        let start = self.time.max(self.busy_until[node]);
+        let mut ctx = NodeCtx {
+            node,
+            now: start,
+            charged: Duration::ZERO,
+            commands: Vec::new(),
+            rng: &mut self.node_rngs[node],
+        };
+        let mut app: Box<dyn Application> =
+            std::mem::replace(&mut self.apps[node], Box::new(CrashedApp));
+        run(app.as_mut(), &mut ctx);
+        self.apps[node] = app;
+        let done = start + ctx.charged;
+        let commands = std::mem::take(&mut ctx.commands);
+        drop(ctx);
+        self.busy_until[node] = done;
+        for cmd in commands {
+            self.apply_command(node, done, cmd);
+        }
+    }
+
+    fn apply_command(&mut self, node: NodeId, at: SimTime, cmd: Command) {
+        match cmd {
+            Command::Broadcast { payload, overhead } => {
+                self.stats.broadcast_sends += 1;
+                self.stats.payload_bytes_sent += payload.len() as u64;
+                // OS loopback: the sender hears its own broadcast without
+                // using the radio.
+                let loopback = ReceivedFrame {
+                    src: node,
+                    addressing: Addressing::Broadcast,
+                    payload: payload.clone(),
+                };
+                self.stats.loopback_deliveries += 1;
+                self.push(
+                    at + self.loopback_latency,
+                    EventKind::Deliver {
+                        node,
+                        frame: loopback,
+                    },
+                );
+                let frame = Frame {
+                    src: node,
+                    addressing: Addressing::Broadcast,
+                    payload,
+                    transport_overhead: overhead,
+                };
+                self.push(at, EventKind::EnqueueTx(frame));
+            }
+            Command::Unicast {
+                dst,
+                payload,
+                overhead,
+            } => {
+                self.stats.unicast_sends += 1;
+                self.stats.payload_bytes_sent += payload.len() as u64;
+                if dst == node {
+                    let frame = ReceivedFrame {
+                        src: node,
+                        addressing: Addressing::Unicast(node),
+                        payload,
+                    };
+                    self.stats.loopback_deliveries += 1;
+                    self.push(
+                        at + self.loopback_latency,
+                        EventKind::Deliver { node, frame },
+                    );
+                } else {
+                    let frame = Frame {
+                        src: node,
+                        addressing: Addressing::Unicast(dst),
+                        payload,
+                        transport_overhead: overhead,
+                    };
+                    self.push(at, EventKind::EnqueueTx(frame));
+                }
+            }
+            Command::SetTimer { delay, id } => {
+                self.push(at + delay, EventKind::Timer { node, id });
+            }
+            Command::Decide { value } => {
+                if self.decisions[node].is_none() {
+                    self.decisions[node] = Some(Decision { time: at, value });
+                    self.trace.record(at, TraceEvent::Decide { node, value });
+                }
+            }
+        }
+    }
+
+    fn handle_tx_end(&mut self, now: SimTime) {
+        let completed = self.medium.finish_tx(now);
+        self.stats.channel_busy += self.medium.last_busy();
+        if !self.trace.is_disabled() {
+            if completed.len() > 1 {
+                self.trace.record(
+                    now,
+                    TraceEvent::Collision {
+                        nodes: completed.iter().map(|t| t.node).collect(),
+                    },
+                );
+            }
+            for tx in &completed {
+                self.trace.record(
+                    now,
+                    TraceEvent::TxStart {
+                        node: tx.node,
+                        broadcast: tx.frame.is_broadcast(),
+                        bytes: tx.frame.mac_payload_len(),
+                    },
+                );
+            }
+        }
+        let prop = self.cfg.phy.propagation;
+        for tx in completed {
+            self.stats.per_node_tx[tx.node] += 1;
+            match tx.frame.addressing {
+                Addressing::Broadcast => {
+                    self.stats.broadcast_frames_sent += 1;
+                    if tx.collision {
+                        self.stats.collisions += 1;
+                        // Group-addressed frames are never retried.
+                        self.medium.after_head_done(tx.node, &mut self.mac_rng);
+                        continue;
+                    }
+                    for rx in 0..self.n() {
+                        if rx == tx.node {
+                            continue; // radio does not hear itself; loopback handled at send
+                        }
+                        let dctx = DeliveryCtx {
+                            now,
+                            src: tx.node,
+                            dst: rx,
+                            broadcast: true,
+                        };
+                        if self.fault.drops(&dctx) {
+                            self.stats.fault_drops += 1;
+                            self.trace
+                                .record(now, TraceEvent::FaultDrop { src: tx.node, dst: rx });
+                            continue;
+                        }
+                        let frame = ReceivedFrame {
+                            src: tx.node,
+                            addressing: Addressing::Broadcast,
+                            payload: tx.frame.payload.clone(),
+                        };
+                        self.trace.record(
+                            now,
+                            TraceEvent::Deliver {
+                                src: tx.node,
+                                dst: rx,
+                                bytes: frame.payload.len(),
+                            },
+                        );
+                        self.push(now + prop, EventKind::Deliver { node: rx, frame });
+                    }
+                    self.medium.after_head_done(tx.node, &mut self.mac_rng);
+                }
+                Addressing::Unicast(dst) => {
+                    self.stats.unicast_frames_sent += 1;
+                    let delivered = if tx.collision {
+                        self.stats.collisions += 1;
+                        false
+                    } else {
+                        let dctx = DeliveryCtx {
+                            now,
+                            src: tx.node,
+                            dst,
+                            broadcast: false,
+                        };
+                        if self.fault.drops(&dctx) {
+                            self.stats.fault_drops += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    };
+                    if delivered {
+                        let frame = ReceivedFrame {
+                            src: tx.node,
+                            addressing: Addressing::Unicast(dst),
+                            payload: tx.frame.payload.clone(),
+                        };
+                        self.push(now + prop, EventKind::Deliver { node: dst, frame });
+                        self.medium.after_head_done(tx.node, &mut self.mac_rng);
+                    } else {
+                        // No ACK: MAC retransmits with a doubled window,
+                        // or gives up.
+                        let payload = tx.frame.payload.clone();
+                        if !self.medium.retry_unicast(
+                            tx.node,
+                            tx.frame,
+                            tx.attempt,
+                            &mut self.mac_rng,
+                        ) {
+                            self.stats.mac_failures += 1;
+                            self.push(
+                                now,
+                                EventKind::MacFailure {
+                                    node: tx.node,
+                                    dst,
+                                    payload,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        self.reschedule_contention();
+    }
+
+    fn reschedule_contention(&mut self) {
+        if let Some((at, epoch)) = self.medium.next_resolution(self.time) {
+            self.push(at, EventKind::ContentionResolve { epoch });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{IidLoss, TargetedLoss};
+    use parking_lot_free_cell::Shared;
+
+    /// Minimal shared-state helper so tests can observe app internals
+    /// after the run without `parking_lot` (keeps this crate's dep set
+    /// small).
+    mod parking_lot_free_cell {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Clone, Default)]
+        pub struct Shared<T>(pub Rc<RefCell<T>>);
+
+        impl<T: Default> Shared<T> {
+            pub fn new() -> Self {
+                Shared(Rc::new(RefCell::new(T::default())))
+            }
+        }
+    }
+
+    /// Broadcasts one message at start; records everything it receives.
+    struct Chatter {
+        sent: bool,
+        received: Shared<Vec<(NodeId, Vec<u8>)>>,
+    }
+
+    impl Application for Chatter {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            if !self.sent {
+                self.sent = true;
+                let msg = format!("hello from {}", ctx.node());
+                ctx.broadcast(Bytes::from(msg.into_bytes()), 36);
+            }
+        }
+        fn on_frame(&mut self, _ctx: &mut NodeCtx<'_>, frame: ReceivedFrame) {
+            self.received
+                .0
+                .borrow_mut()
+                .push((frame.src, frame.payload.to_vec()));
+        }
+        fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: u64) {}
+    }
+
+    fn chatter_sim(n: usize, seed: u64) -> (Simulator, Vec<Shared<Vec<(NodeId, Vec<u8>)>>>) {
+        let cells: Vec<_> = (0..n).map(|_| Shared::<Vec<(NodeId, Vec<u8>)>>::new()).collect();
+        let apps: Vec<Box<dyn Application>> = cells
+            .iter()
+            .map(|c| {
+                Box::new(Chatter {
+                    sent: false,
+                    received: c.clone(),
+                }) as Box<dyn Application>
+            })
+            .collect();
+        let cfg = SimConfig {
+            seed,
+            ..SimConfig::default()
+        };
+        (Simulator::without_faults(cfg, apps), cells)
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_including_self() {
+        let (mut sim, cells) = chatter_sim(4, 1);
+        let status = sim.run_until(SimTime::from_millis(100), |_| false);
+        assert_eq!(status, RunStatus::Quiescent);
+        for (i, cell) in cells.iter().enumerate() {
+            let got = cell.0.borrow();
+            assert_eq!(got.len(), 4, "node {i} should hear all 4 broadcasts");
+            let mut sources: Vec<_> = got.iter().map(|(s, _)| *s).collect();
+            sources.sort_unstable();
+            assert_eq!(sources, vec![0, 1, 2, 3]);
+        }
+        assert_eq!(sim.stats().broadcast_frames_sent, 4);
+        assert_eq!(sim.stats().loopback_deliveries, 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let (mut sim, cells) = chatter_sim(5, seed);
+            sim.run_until(SimTime::from_millis(100), |_| false);
+            let out: Vec<_> = cells.iter().map(|c| c.0.borrow().clone()).collect();
+            (out, sim.now())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    /// Sends a unicast to node 1 at start.
+    struct UniSender;
+    impl Application for UniSender {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            if ctx.node() == 0 {
+                ctx.unicast(1, Bytes::from_static(b"direct"), 48);
+            }
+        }
+        fn on_frame(&mut self, _ctx: &mut NodeCtx<'_>, _frame: ReceivedFrame) {}
+        fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: u64) {}
+    }
+
+    #[test]
+    fn unicast_retries_through_loss_then_delivers() {
+        // 60% loss: MAC ARQ (7 retries) almost surely gets it through.
+        let cfg = SimConfig {
+            seed: 3,
+            ..SimConfig::default()
+        };
+        let apps: Vec<Box<dyn Application>> =
+            vec![Box::new(UniSender), Box::new(UniSender), Box::new(UniSender)];
+        let mut sim = Simulator::new(cfg, Box::new(IidLoss::new(0.6, 5)), apps);
+        sim.run_until(SimTime::from_millis(500), |_| false);
+        assert!(sim.stats().unicast_frames_sent >= 1);
+        assert_eq!(sim.stats().deliveries, 1, "exactly one app delivery");
+        assert!(
+            sim.stats().unicast_frames_sent > 1 || sim.stats().fault_drops == 0,
+            "with drops there must be retransmissions"
+        );
+    }
+
+    /// Counts MAC failures reported to the app.
+    struct FailureCounter {
+        failures: Shared<Vec<NodeId>>,
+    }
+    impl Application for FailureCounter {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            if ctx.node() == 0 {
+                ctx.unicast(1, Bytes::from_static(b"doomed"), 48);
+            }
+        }
+        fn on_frame(&mut self, _ctx: &mut NodeCtx<'_>, _frame: ReceivedFrame) {}
+        fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: u64) {}
+        fn on_unicast_failed(&mut self, _ctx: &mut NodeCtx<'_>, dst: NodeId, _payload: Bytes) {
+            self.failures.0.borrow_mut().push(dst);
+        }
+    }
+
+    #[test]
+    fn unicast_to_black_hole_reports_mac_failure() {
+        let cell = Shared::<Vec<NodeId>>::new();
+        let apps: Vec<Box<dyn Application>> = vec![
+            Box::new(FailureCounter {
+                failures: cell.clone(),
+            }),
+            Box::new(CrashedApp),
+        ];
+        let cfg = SimConfig {
+            seed: 9,
+            ..SimConfig::default()
+        };
+        // All deliveries to node 1 dropped.
+        let fault = TargetedLoss::new(vec![], vec![1], 1.0, 2);
+        let mut sim = Simulator::new(cfg, Box::new(fault), apps);
+        sim.run_until(SimTime::from_millis(500), |_| false);
+        assert_eq!(sim.stats().mac_failures, 1);
+        assert_eq!(cell.0.borrow().as_slice(), &[1]);
+        // 1 initial + retry_limit retransmissions.
+        assert_eq!(sim.stats().unicast_frames_sent as u32, 1 + sim_retry_limit());
+    }
+
+    fn sim_retry_limit() -> u32 {
+        crate::config::PhyConfig::default().retry_limit
+    }
+
+    /// Charges heavy CPU on its first frame; records delivery times.
+    struct SlowCpu {
+        times: Shared<Vec<u64>>,
+    }
+    impl Application for SlowCpu {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            if ctx.node() == 1 {
+                // Two back-to-back broadcasts arrive close together.
+                ctx.broadcast(Bytes::from_static(b"one"), 36);
+                ctx.broadcast(Bytes::from_static(b"two"), 36);
+            }
+        }
+        fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, _frame: ReceivedFrame) {
+            self.times.0.borrow_mut().push(ctx.now().as_micros());
+            ctx.charge_cpu(Duration::from_millis(10));
+        }
+        fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: u64) {}
+    }
+
+    #[test]
+    fn cpu_charge_delays_subsequent_deliveries() {
+        let cell = Shared::<Vec<u64>>::new();
+        let apps: Vec<Box<dyn Application>> = vec![
+            Box::new(SlowCpu {
+                times: cell.clone(),
+            }),
+            Box::new(SlowCpu {
+                times: Shared::<Vec<u64>>::new(),
+            }),
+        ];
+        let cfg = SimConfig {
+            seed: 4,
+            start_jitter: Duration::ZERO,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::without_faults(cfg, apps);
+        sim.run_until(SimTime::from_millis(200), |_| false);
+        let times = cell.0.borrow();
+        assert_eq!(times.len(), 2, "node 0 hears both broadcasts");
+        // Second delivery waits out the 10 ms CPU charge.
+        assert!(
+            times[1] >= times[0] + 10_000,
+            "second delivery at {} must be ≥ first {} + 10ms",
+            times[1],
+            times[0]
+        );
+    }
+
+    /// Decides at start.
+    struct Decider(bool);
+    impl Application for Decider {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.decide(self.0);
+            ctx.decide(!self.0); // write-once: must be ignored
+        }
+        fn on_frame(&mut self, _ctx: &mut NodeCtx<'_>, _frame: ReceivedFrame) {}
+        fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: u64) {}
+    }
+
+    #[test]
+    fn decisions_recorded_write_once() {
+        let apps: Vec<Box<dyn Application>> = vec![Box::new(Decider(true)), Box::new(Decider(false))];
+        let mut sim = Simulator::without_faults(SimConfig::default(), apps);
+        let status = sim.run_until_k_decided(2, SimTime::from_millis(10));
+        assert_eq!(status, RunStatus::Satisfied);
+        assert_eq!(sim.decisions()[0].map(|d| d.value), Some(true));
+        assert_eq!(sim.decisions()[1].map(|d| d.value), Some(false));
+    }
+
+    /// Re-arming periodic timer.
+    struct Ticker {
+        fired: Shared<Vec<u64>>,
+    }
+    impl Application for Ticker {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(Duration::from_millis(10), 1);
+        }
+        fn on_frame(&mut self, _ctx: &mut NodeCtx<'_>, _frame: ReceivedFrame) {}
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: u64) {
+            assert_eq!(timer, 1);
+            self.fired.0.borrow_mut().push(ctx.now().as_millis());
+            if self.fired.0.borrow().len() < 3 {
+                ctx.set_timer(Duration::from_millis(10), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_rearm() {
+        let cell = Shared::<Vec<u64>>::new();
+        let apps: Vec<Box<dyn Application>> = vec![Box::new(Ticker {
+            fired: cell.clone(),
+        })];
+        let cfg = SimConfig {
+            start_jitter: Duration::ZERO,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::without_faults(cfg, apps);
+        let status = sim.run_until(SimTime::from_millis(1000), |_| false);
+        assert_eq!(status, RunStatus::Quiescent);
+        assert_eq!(cell.0.borrow().as_slice(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn time_limit_status() {
+        let cell = Shared::<Vec<u64>>::new();
+        let apps: Vec<Box<dyn Application>> = vec![Box::new(Ticker {
+            fired: cell.clone(),
+        })];
+        let cfg = SimConfig {
+            start_jitter: Duration::ZERO,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::without_faults(cfg, apps);
+        let status = sim.run_until(SimTime::from_millis(15), |_| false);
+        assert_eq!(status, RunStatus::TimeLimit);
+        assert_eq!(cell.0.borrow().as_slice(), &[10]);
+    }
+
+    #[test]
+    fn trace_captures_network_events() {
+        let (cells, apps): (Vec<_>, Vec<Box<dyn Application>>) = (0..2)
+            .map(|_| {
+                let cell = Shared::<Vec<(NodeId, Vec<u8>)>>::new();
+                let app = Box::new(Chatter {
+                    sent: false,
+                    received: cell.clone(),
+                }) as Box<dyn Application>;
+                (cell, app)
+            })
+            .unzip();
+        drop(cells);
+        let cfg = SimConfig {
+            seed: 1,
+            trace_capacity: 64,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::without_faults(cfg, apps);
+        sim.run_until(SimTime::from_millis(100), |_| false);
+        assert!(!sim.trace().is_empty());
+        let log = sim.trace().render();
+        assert!(log.contains("tx-start"), "{log}");
+        assert!(log.contains("deliver"), "{log}");
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let apps: Vec<Box<dyn Application>> = vec![Box::new(Chatter {
+            sent: false,
+            received: Shared::<Vec<(NodeId, Vec<u8>)>>::new(),
+        })];
+        let mut sim = Simulator::without_faults(SimConfig::default(), apps);
+        sim.run_until(SimTime::from_millis(50), |_| false);
+        assert!(sim.trace().is_empty());
+    }
+
+    #[test]
+    fn self_unicast_loops_back() {
+        struct SelfSender {
+            got: Shared<Vec<u8>>,
+        }
+        impl Application for SelfSender {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.unicast(ctx.node(), Bytes::from_static(b"me"), 48);
+            }
+            fn on_frame(&mut self, _ctx: &mut NodeCtx<'_>, frame: ReceivedFrame) {
+                self.got.0.borrow_mut().extend_from_slice(&frame.payload);
+            }
+            fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: u64) {}
+        }
+        let cell = Shared::<Vec<u8>>::new();
+        let apps: Vec<Box<dyn Application>> = vec![Box::new(SelfSender { got: cell.clone() })];
+        let mut sim = Simulator::without_faults(SimConfig::default(), apps);
+        sim.run_until(SimTime::from_millis(10), |_| false);
+        assert_eq!(cell.0.borrow().as_slice(), b"me");
+        assert_eq!(sim.stats().unicast_frames_sent, 0, "radio untouched");
+    }
+}

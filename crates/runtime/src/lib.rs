@@ -1,0 +1,285 @@
+//! # turquois-runtime — a live Turquois runtime over real UDP sockets
+//!
+//! The simulator in `wireless-net` reproduces the paper's testbed; this
+//! crate demonstrates that the same sans-io protocol engine runs
+//! unchanged against a *real* network stack. Each process is a thread
+//! with its own `std::net::UdpSocket` bound to `127.0.0.1`; "broadcast"
+//! is emulated by fanning a datagram out to every process's port (the
+//! paper's single-hop broadcast domain, minus the radio). Loss can be
+//! injected at the receiver to exercise the protocol's
+//! omission tolerance over real sockets.
+//!
+//! This runtime is intentionally modest: it exists to prove the engine
+//! against real I/O (see `examples/live_udp.rs`), not to be a deployment
+//! vehicle — a real deployment would bind `255.255.255.255:port` on an
+//! 802.11 interface in ad hoc mode, which is exactly one socket call
+//! away.
+//!
+//! # Example
+//!
+//! ```
+//! use turquois_runtime::{Cluster, ClusterConfig};
+//!
+//! let config = ClusterConfig {
+//!     n: 4,
+//!     proposals: vec![true, true, false, true],
+//!     seed: 7,
+//!     ..ClusterConfig::default()
+//! };
+//! let decisions = Cluster::run(config).expect("cluster completes");
+//! let first = decisions[0].expect("all decide");
+//! assert!(decisions.iter().all(|d| *d == Some(first)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::UdpSocket;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use turquois_core::config::Config;
+use turquois_core::instance::Turquois;
+use turquois_core::KeyRing;
+
+/// Configuration of a live localhost cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of processes (threads).
+    pub n: usize,
+    /// Initial proposals, one per process.
+    pub proposals: Vec<bool>,
+    /// Master seed (keys, coins, loss injection).
+    pub seed: u64,
+    /// Clock-tick interval (paper: 10 ms).
+    pub tick: Duration,
+    /// Receiver-side injected loss probability per datagram.
+    pub loss: f64,
+    /// Wall-clock budget for the run.
+    pub timeout: Duration,
+    /// One-time-signature phases to pre-distribute.
+    pub key_phases: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n: 4,
+            proposals: vec![true; 4],
+            seed: 0,
+            tick: Duration::from_millis(10),
+            loss: 0.0,
+            timeout: Duration::from_secs(30),
+            key_phases: 600,
+        }
+    }
+}
+
+/// Errors from running a cluster.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Invalid parameters (see message).
+    Config(String),
+    /// Socket setup or I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Config(msg) => write!(f, "invalid cluster config: {msg}"),
+            ClusterError::Io(e) => write!(f, "cluster I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+/// A live localhost cluster runner.
+#[derive(Debug)]
+pub struct Cluster;
+
+impl Cluster {
+    /// Runs one consensus over real UDP sockets; returns each process's
+    /// decision (`None` if it had not decided when every thread stopped).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] for inconsistent parameters,
+    /// [`ClusterError::Io`] for socket failures.
+    pub fn run(config: ClusterConfig) -> Result<Vec<Option<bool>>, ClusterError> {
+        let n = config.n;
+        if config.proposals.len() != n {
+            return Err(ClusterError::Config(format!(
+                "{} proposals for {n} processes",
+                config.proposals.len()
+            )));
+        }
+        if !(0.0..=1.0).contains(&config.loss) {
+            return Err(ClusterError::Config(format!(
+                "loss {} out of range",
+                config.loss
+            )));
+        }
+        let cfg = Config::evaluation(n).map_err(|e| ClusterError::Config(e.to_string()))?;
+
+        // Bind every socket up front so the port list is known to all.
+        let sockets: Vec<UdpSocket> = (0..n)
+            .map(|_| UdpSocket::bind("127.0.0.1:0"))
+            .collect::<Result<_, _>>()?;
+        let ports: Vec<u16> = sockets
+            .iter()
+            .map(|s| s.local_addr().map(|a| a.port()))
+            .collect::<Result<_, _>>()?;
+        for s in &sockets {
+            s.set_read_timeout(Some(Duration::from_millis(2)))?;
+        }
+
+        let rings = KeyRing::trusted_setup(n, config.key_phases, config.seed);
+        let decisions: Arc<Mutex<Vec<Option<bool>>>> = Arc::new(Mutex::new(vec![None; n]));
+        let (stop_tx, stop_rx) = channel::bounded::<()>(0);
+
+        let mut handles = Vec::new();
+        for (id, (socket, ring)) in sockets.into_iter().zip(rings).enumerate() {
+            let ports = ports.clone();
+            let decisions = Arc::clone(&decisions);
+            let stop_rx = stop_rx.clone();
+            let proposal = config.proposals[id];
+            let tick = config.tick;
+            let loss = config.loss;
+            let seed = config.seed;
+            handles.push(std::thread::spawn(move || {
+                let mut instance = Turquois::new(cfg, id, proposal, ring, seed + 1000 + id as u64);
+                let mut rng = StdRng::seed_from_u64(seed ^ (0x10c0 + id as u64));
+                let mut buf = [0u8; 65_536];
+                let mut last_tick = Instant::now() - tick;
+                loop {
+                    match stop_rx.try_recv() {
+                        Err(channel::TryRecvError::Empty) => {}
+                        _ => return, // signalled or all senders dropped
+                    }
+                    // Task T1: tick on schedule (phase changes re-tick
+                    // immediately below).
+                    if last_tick.elapsed() >= tick {
+                        last_tick = Instant::now();
+                        if let Ok(out) = instance.on_tick() {
+                            for &port in &ports {
+                                let _ = socket.send_to(&out.bytes, ("127.0.0.1", port));
+                            }
+                        }
+                    }
+                    // Task T2: drain arrivals.
+                    match socket.recv_from(&mut buf) {
+                        Ok((len, _)) => {
+                            if loss > 0.0 && rng.gen_bool(loss) {
+                                continue; // injected omission
+                            }
+                            let receipt = instance.on_message(&buf[..len]);
+                            if let Some(v) = receipt.newly_decided {
+                                decisions.lock()[id] = Some(v);
+                            }
+                            if receipt.phase_advanced {
+                                last_tick = Instant::now() - tick; // tick now
+                            }
+                        }
+                        Err(ref e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut => {}
+                        Err(_) => return,
+                    }
+                }
+            }));
+        }
+
+        // Wait until everyone decided or the timeout expires.
+        let deadline = Instant::now() + config.timeout;
+        loop {
+            {
+                let d = decisions.lock();
+                if d.iter().all(|x| x.is_some()) {
+                    break;
+                }
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(stop_tx); // closing the channel signals every thread
+        for h in handles {
+            let _ = h.join();
+        }
+        let result = decisions.lock().clone();
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_cluster_decides() {
+        let config = ClusterConfig {
+            n: 4,
+            proposals: vec![true; 4],
+            seed: 1,
+            ..ClusterConfig::default()
+        };
+        let decisions = Cluster::run(config).expect("runs");
+        assert!(decisions.iter().all(|d| *d == Some(true)), "{decisions:?}");
+    }
+
+    #[test]
+    fn divergent_cluster_agrees() {
+        let config = ClusterConfig {
+            n: 4,
+            proposals: vec![false, true, false, true],
+            seed: 2,
+            ..ClusterConfig::default()
+        };
+        let decisions = Cluster::run(config).expect("runs");
+        let first = decisions[0].expect("decides");
+        assert!(decisions.iter().all(|d| *d == Some(first)), "{decisions:?}");
+    }
+
+    #[test]
+    fn lossy_cluster_still_terminates() {
+        let config = ClusterConfig {
+            n: 4,
+            proposals: vec![true; 4],
+            seed: 3,
+            loss: 0.2,
+            ..ClusterConfig::default()
+        };
+        let decisions = Cluster::run(config).expect("runs");
+        assert!(decisions.iter().all(|d| *d == Some(true)), "{decisions:?}");
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = ClusterConfig {
+            n: 4,
+            proposals: vec![true; 3],
+            ..ClusterConfig::default()
+        };
+        assert!(matches!(Cluster::run(bad), Err(ClusterError::Config(_))));
+        let bad_loss = ClusterConfig {
+            loss: 2.0,
+            ..ClusterConfig::default()
+        };
+        assert!(matches!(
+            Cluster::run(bad_loss),
+            Err(ClusterError::Config(_))
+        ));
+    }
+}

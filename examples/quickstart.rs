@@ -1,0 +1,50 @@
+//! Quickstart: run one Turquois consensus in the simulated 802.11b
+//! network and print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use turquois::harness::{FaultLoad, Protocol, ProposalDistribution, Scenario};
+
+fn main() {
+    // Ten nodes on a simulated 802.11b ad hoc network; proposals
+    // diverge (odd ids propose 1, even ids propose 0); one third of the
+    // nodes (f = 3) are Byzantine and follow the paper's §7.2 attack.
+    let scenario = Scenario::new(Protocol::Turquois, 10)
+        .proposals(ProposalDistribution::Divergent)
+        .fault_load(FaultLoad::Byzantine)
+        .seed(2026);
+
+    let outcome = scenario.run_once().expect("valid scenario");
+
+    println!("Turquois k-consensus, n = {}, f = {}, k = {}", outcome.n, outcome.f, outcome.k);
+    println!("fault load: {}\n", outcome.fault_load.name());
+    for i in 0..outcome.n {
+        let role = if outcome.faulty[i] { "byzantine" } else { "correct" };
+        match outcome.decisions[i] {
+            Some(d) => {
+                let latency =
+                    d.time.saturating_since(outcome.start_times[i]).as_secs_f64() * 1e3;
+                println!(
+                    "  p{i} ({role:9}) proposed {} → decided {} after {latency:7.2} ms (phase {})",
+                    outcome.proposals[i] as u8,
+                    d.value as u8,
+                    outcome.probe.phase_at_decision[i].unwrap_or(0),
+                );
+            }
+            None => println!("  p{i} ({role:9}) proposed {} → (no decision)", outcome.proposals[i] as u8),
+        }
+    }
+    println!();
+    println!("agreement holds: {}", outcome.agreement_holds());
+    println!("validity holds:  {}", outcome.validity_holds());
+    println!(
+        "network: {} data frames ({} collisions, {} injected omissions)",
+        outcome.stats.frames_sent(),
+        outcome.stats.collisions,
+        outcome.stats.fault_drops,
+    );
+    assert!(outcome.agreement_holds() && outcome.validity_holds());
+    assert!(outcome.k_reached(), "at least k correct processes decided");
+}

@@ -1,0 +1,164 @@
+//! Cross-crate integration: the three consensus properties (validity,
+//! agreement, termination) for every protocol on the simulated 802.11b
+//! network, across fault loads, proposal distributions, and seeds.
+
+use turquois::harness::{FaultLoad, Protocol, ProposalDistribution, Scenario};
+
+fn check(
+    protocol: Protocol,
+    n: usize,
+    dist: ProposalDistribution,
+    fault_load: FaultLoad,
+    seed: u64,
+) {
+    let outcome = Scenario::new(protocol, n)
+        .proposals(dist)
+        .fault_load(fault_load)
+        .seed(seed)
+        .time_limit(std::time::Duration::from_secs(120))
+        .run_once()
+        .expect("valid scenario");
+    assert!(
+        outcome.agreement_holds(),
+        "{} n={n} {} {} seed={seed}: agreement violated: {:?}",
+        protocol.name(),
+        dist.name(),
+        fault_load.name(),
+        outcome.decisions
+    );
+    assert!(
+        outcome.validity_holds(),
+        "{} n={n} {} {} seed={seed}: validity violated",
+        protocol.name(),
+        dist.name(),
+        fault_load.name(),
+    );
+    assert!(
+        outcome.k_reached(),
+        "{} n={n} {} {} seed={seed}: only {}/{} decided by {}",
+        protocol.name(),
+        dist.name(),
+        fault_load.name(),
+        outcome.decided_correct(),
+        outcome.k,
+        outcome.end,
+    );
+}
+
+#[test]
+fn turquois_all_fault_loads_n4() {
+    for fl in [FaultLoad::FailureFree, FaultLoad::FailStop, FaultLoad::Byzantine] {
+        for dist in [ProposalDistribution::Unanimous, ProposalDistribution::Divergent] {
+            for seed in 0..4 {
+                check(Protocol::Turquois, 4, dist, fl, seed);
+            }
+        }
+    }
+}
+
+#[test]
+fn turquois_all_fault_loads_n7() {
+    for fl in [FaultLoad::FailureFree, FaultLoad::FailStop, FaultLoad::Byzantine] {
+        for dist in [ProposalDistribution::Unanimous, ProposalDistribution::Divergent] {
+            for seed in 10..13 {
+                check(Protocol::Turquois, 7, dist, fl, seed);
+            }
+        }
+    }
+}
+
+#[test]
+fn turquois_larger_groups() {
+    for n in [10, 13, 16] {
+        check(
+            Protocol::Turquois,
+            n,
+            ProposalDistribution::Divergent,
+            FaultLoad::Byzantine,
+            42,
+        );
+    }
+}
+
+#[test]
+fn abba_all_fault_loads_n4() {
+    for fl in [FaultLoad::FailureFree, FaultLoad::FailStop, FaultLoad::Byzantine] {
+        for dist in [ProposalDistribution::Unanimous, ProposalDistribution::Divergent] {
+            for seed in 0..3 {
+                check(Protocol::Abba, 4, dist, fl, seed);
+            }
+        }
+    }
+}
+
+#[test]
+fn abba_n7_byzantine() {
+    check(
+        Protocol::Abba,
+        7,
+        ProposalDistribution::Divergent,
+        FaultLoad::Byzantine,
+        5,
+    );
+}
+
+#[test]
+fn bracha_all_fault_loads_n4() {
+    for fl in [FaultLoad::FailureFree, FaultLoad::FailStop, FaultLoad::Byzantine] {
+        for dist in [ProposalDistribution::Unanimous, ProposalDistribution::Divergent] {
+            check(Protocol::Bracha, 4, dist, fl, 1);
+        }
+    }
+}
+
+#[test]
+fn bracha_n7_failure_free() {
+    check(
+        Protocol::Bracha,
+        7,
+        ProposalDistribution::Divergent,
+        FaultLoad::FailureFree,
+        3,
+    );
+}
+
+#[test]
+fn turquois_latency_beats_baselines() {
+    // The paper's headline: Turquois is fastest, and the gap grows with
+    // n. Verified here at n = 7, failure-free, averaged over 5 seeds.
+    let mean = |protocol: Protocol| -> f64 {
+        let mut total = 0.0;
+        for seed in 0..5u64 {
+            let outcome = Scenario::new(protocol, 7)
+                .seed(seed * 1337)
+                .run_once()
+                .expect("valid scenario");
+            total += outcome.mean_latency_ms().expect("decides");
+        }
+        total / 5.0
+    };
+    let turquois = mean(Protocol::Turquois);
+    let abba = mean(Protocol::Abba);
+    let bracha = mean(Protocol::Bracha);
+    assert!(
+        turquois < abba && abba < bracha,
+        "expected Turquois < ABBA < Bracha, got {turquois:.1} / {abba:.1} / {bracha:.1}"
+    );
+    assert!(
+        bracha > 10.0 * turquois,
+        "Bracha should trail by an order of magnitude at n=7: {turquois:.1} vs {bracha:.1}"
+    );
+}
+
+#[test]
+fn decisions_are_timestamped_after_start() {
+    let outcome = Scenario::new(Protocol::Turquois, 4)
+        .seed(9)
+        .run_once()
+        .expect("valid scenario");
+    for i in 0..outcome.n {
+        if let Some(d) = outcome.decisions[i] {
+            assert!(d.time >= outcome.start_times[i]);
+        }
+    }
+}

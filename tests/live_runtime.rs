@@ -1,0 +1,32 @@
+//! Integration: the live UDP runtime (real sockets, real threads).
+
+use std::time::Duration;
+use turquois::runtime::{Cluster, ClusterConfig};
+
+#[test]
+fn live_cluster_unanimous() {
+    let decisions = Cluster::run(ClusterConfig {
+        n: 4,
+        proposals: vec![false; 4],
+        seed: 11,
+        timeout: Duration::from_secs(20),
+        ..ClusterConfig::default()
+    })
+    .expect("cluster runs");
+    assert!(decisions.iter().all(|d| *d == Some(false)), "{decisions:?}");
+}
+
+#[test]
+fn live_cluster_divergent_with_loss() {
+    let decisions = Cluster::run(ClusterConfig {
+        n: 4,
+        proposals: vec![true, false, true, false],
+        seed: 12,
+        loss: 0.1,
+        timeout: Duration::from_secs(20),
+        ..ClusterConfig::default()
+    })
+    .expect("cluster runs");
+    let first = decisions[0].expect("decides");
+    assert!(decisions.iter().all(|d| *d == Some(first)), "{decisions:?}");
+}

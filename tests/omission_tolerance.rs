@@ -1,0 +1,143 @@
+//! Integration: the communication failure model — safety under
+//! unrestricted omissions, progress when the network behaves.
+
+use std::time::Duration;
+use turquois::harness::{FaultLoad, LossSpec, Protocol, ProposalDistribution, Scenario};
+
+#[test]
+fn turquois_survives_heavy_iid_loss() {
+    for loss in [0.1, 0.25] {
+        let outcome = Scenario::new(Protocol::Turquois, 7)
+            .proposals(ProposalDistribution::Divergent)
+            .loss(LossSpec::Iid(loss))
+            .seed(17)
+            .time_limit(Duration::from_secs(60))
+            .run_once()
+            .expect("valid scenario");
+        assert!(outcome.agreement_holds() && outcome.validity_holds());
+        assert!(
+            outcome.k_reached(),
+            "loss={loss}: {}/{} decided",
+            outcome.decided_correct(),
+            outcome.k
+        );
+        assert!(outcome.stats.fault_drops > 0, "loss must actually occur");
+    }
+}
+
+#[test]
+fn turquois_survives_bursty_loss() {
+    let outcome = Scenario::new(Protocol::Turquois, 7)
+        .loss(LossSpec::Burst(0.05, 0.2, 0.9))
+        .seed(23)
+        .time_limit(Duration::from_secs(60))
+        .run_once()
+        .expect("valid scenario");
+    assert!(outcome.agreement_holds());
+    assert!(outcome.k_reached());
+}
+
+#[test]
+fn jamming_delays_but_never_breaks() {
+    // The jam covers the whole failure-free decision window; progress
+    // must resume afterwards with safety intact.
+    let outcome = Scenario::new(Protocol::Turquois, 4)
+        .loss(LossSpec::Jam {
+            start_ms: 2,
+            len_ms: 50,
+        })
+        .seed(5)
+        .time_limit(Duration::from_secs(30))
+        .run_once()
+        .expect("valid scenario");
+    assert!(outcome.agreement_holds() && outcome.validity_holds());
+    assert!(outcome.k_reached());
+    let max_ms = outcome
+        .latencies_ms()
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_ms > 50.0,
+        "decisions cannot complete during the jam window, got {max_ms}"
+    );
+}
+
+#[test]
+fn omission_adversary_within_sigma_cannot_stop_progress() {
+    // n=10, k=7, t=0: σ = 20 omissions per round. A budgeted adversary
+    // at half that budget merely slows things down.
+    let outcome = Scenario::new(Protocol::Turquois, 10)
+        .loss(LossSpec::Budget {
+            budget: 10,
+            window_ms: 10,
+        })
+        .seed(29)
+        .time_limit(Duration::from_secs(60))
+        .run_once()
+        .expect("valid scenario");
+    assert!(outcome.agreement_holds());
+    assert!(outcome.k_reached());
+}
+
+#[test]
+fn omission_adversary_above_sigma_preserves_safety() {
+    // Way above σ: progress may stall within the time limit, but no two
+    // correct processes may ever disagree and validity must hold.
+    let outcome = Scenario::new(Protocol::Turquois, 10)
+        .proposals(ProposalDistribution::Divergent)
+        .loss(LossSpec::Budget {
+            budget: 200,
+            window_ms: 10,
+        })
+        .seed(31)
+        .time_limit(Duration::from_secs(5))
+        .run_once()
+        .expect("valid scenario");
+    assert!(outcome.agreement_holds(), "safety is unconditional");
+    assert!(outcome.validity_holds());
+}
+
+#[test]
+fn fail_stop_with_loss_is_slower_than_failure_free() {
+    // §7.3: with exactly n−f live processes every message matters, so
+    // loss hurts more. Compare means over several seeds at 10% loss.
+    let mean = |fl: FaultLoad| -> f64 {
+        let mut total = 0.0;
+        let mut count = 0;
+        for seed in 0..8u64 {
+            let outcome = Scenario::new(Protocol::Turquois, 7)
+                .fault_load(fl)
+                .loss(LossSpec::Iid(0.10))
+                .seed(seed * 101)
+                .time_limit(Duration::from_secs(60))
+                .run_once()
+                .expect("valid scenario");
+            assert!(outcome.agreement_holds());
+            if let Some(m) = outcome.mean_latency_ms() {
+                total += m;
+                count += 1;
+            }
+        }
+        total / count as f64
+    };
+    let ff = mean(FaultLoad::FailureFree);
+    let fs = mean(FaultLoad::FailStop);
+    assert!(
+        fs > ff,
+        "fail-stop ({fs:.1} ms) should exceed failure-free ({ff:.1} ms) under loss"
+    );
+}
+
+#[test]
+fn baselines_survive_loss_through_retransmission() {
+    for protocol in [Protocol::Abba, Protocol::Bracha] {
+        let outcome = Scenario::new(protocol, 4)
+            .loss(LossSpec::Iid(0.15))
+            .seed(37)
+            .time_limit(Duration::from_secs(120))
+            .run_once()
+            .expect("valid scenario");
+        assert!(outcome.agreement_holds(), "{}", protocol.name());
+        assert!(outcome.k_reached(), "{}", protocol.name());
+    }
+}

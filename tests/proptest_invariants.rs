@@ -1,0 +1,171 @@
+//! Property-based tests over the protocol's core invariants.
+
+use proptest::prelude::*;
+use turquois::core::config::Config;
+use turquois::core::instance::Turquois;
+use turquois::core::message::{Envelope, Message, Status};
+use turquois::core::{KeyRing, Value};
+use turquois::crypto::otss::OneTimeSignature;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Zero),
+        Just(Value::One),
+        Just(Value::Bot)
+    ]
+}
+
+fn arb_envelope(n: usize) -> impl Strategy<Value = Envelope> {
+    (
+        0..n,
+        1u32..200,
+        arb_value(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(sender, phase, value, coin_flip, decided)| Envelope {
+            sender,
+            phase,
+            value,
+            coin_flip,
+            status: if decided {
+                Status::Decided
+            } else {
+                Status::Undecided
+            },
+        })
+}
+
+fn arb_signature() -> impl Strategy<Value = OneTimeSignature> {
+    any::<[u8; 32]>().prop_map(OneTimeSignature)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wire codec: decode(encode(m)) == m for arbitrary messages.
+    #[test]
+    fn message_codec_round_trip(
+        env in arb_envelope(7),
+        sig in arb_signature(),
+        just in prop::collection::vec((arb_envelope(7), arb_signature()), 0..8),
+    ) {
+        let cfg = Config::new(7, 2, 5).expect("valid");
+        let msg = Message { envelope: env, signature: sig, justification: just };
+        let decoded = Message::decode(&msg.encode(), &cfg).expect("own encoding decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Arbitrary byte soup never panics the decoder and never produces
+    /// an out-of-range sender.
+    #[test]
+    fn decoder_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let cfg = Config::new(7, 2, 5).expect("valid");
+        if let Ok(msg) = Message::decode(&bytes, &cfg) {
+            prop_assert!(msg.envelope.sender < 7);
+            prop_assert!(msg.envelope.phase >= 1);
+        }
+    }
+
+    /// Quorum arithmetic: for every valid configuration, two quorums
+    /// intersect in more than f senders, and the half-quorum exceeds f.
+    #[test]
+    fn quorum_lemmas(n in 1usize..60) {
+        let Ok(cfg) = Config::evaluation(n) else { return Ok(()); };
+        let q = cfg.quorum_min();
+        prop_assert!(q <= n, "a quorum must be attainable");
+        prop_assert!(2 * q - n > cfg.f(), "quorum intersection contains a correct process");
+        prop_assert!(cfg.half_quorum_min() > cfg.f(), "half-quorum defeats f fabricators");
+        // σ is monotonically non-increasing in t.
+        let mut last = usize::MAX;
+        for t in 0..=cfg.f() {
+            if cfg.k() + t > cfg.n() { break; }
+            let s = cfg.sigma(t);
+            prop_assert!(s <= last);
+            last = s;
+        }
+    }
+
+    /// End-to-end (lossless, synchronous): agreement + validity for
+    /// random proposal vectors and seeds, n = 4.
+    #[test]
+    fn synchronous_agreement_and_validity(
+        proposals in prop::collection::vec(any::<bool>(), 4),
+        seed in 0u64..1000,
+    ) {
+        let cfg = Config::evaluation(4).expect("valid");
+        let rings = KeyRing::trusted_setup(4, 120, seed);
+        let mut procs: Vec<Turquois> = rings
+            .into_iter()
+            .enumerate()
+            .map(|(i, ring)| Turquois::new(cfg, i, proposals[i], ring, seed + 31 * i as u64))
+            .collect();
+        for _ in 0..40 {
+            let msgs: Vec<_> = procs
+                .iter_mut()
+                .map(|p| p.on_tick().expect("keys cover phase").bytes)
+                .collect();
+            for p in procs.iter_mut() {
+                for m in &msgs {
+                    p.on_message(m);
+                }
+            }
+            if procs.iter().all(|p| p.decision().is_some()) {
+                break;
+            }
+        }
+        let decisions: Vec<Option<bool>> = procs.iter().map(|p| p.decision()).collect();
+        prop_assert!(decisions.iter().all(|d| d.is_some()), "termination: {decisions:?}");
+        let first = decisions[0].expect("checked");
+        prop_assert!(decisions.iter().all(|d| *d == Some(first)), "agreement");
+        if proposals.iter().all(|&p| p == proposals[0]) {
+            prop_assert_eq!(first, proposals[0], "validity");
+        }
+    }
+
+    /// Under random per-message loss (messages randomly withheld from
+    /// random receivers), safety never breaks and no process panics.
+    #[test]
+    fn lossy_rounds_preserve_safety(
+        proposals in prop::collection::vec(any::<bool>(), 4),
+        seed in 0u64..500,
+        loss_mask in prop::collection::vec(any::<u16>(), 25),
+    ) {
+        let cfg = Config::evaluation(4).expect("valid");
+        let rings = KeyRing::trusted_setup(4, 120, seed ^ xloss_seed());
+        let mut procs: Vec<Turquois> = rings
+            .into_iter()
+            .enumerate()
+            .map(|(i, ring)| Turquois::new(cfg, i, proposals[i], ring, seed + 7 * i as u64))
+            .collect();
+        for mask in &loss_mask {
+            let msgs: Vec<_> = procs
+                .iter_mut()
+                .map(|p| p.on_tick().expect("keys cover phase").bytes)
+                .collect();
+            for (recv_idx, p) in procs.iter_mut().enumerate() {
+                for (send_idx, m) in msgs.iter().enumerate() {
+                    // Bit (recv, send) of the mask decides omission.
+                    let bit = (mask >> ((recv_idx * 4 + send_idx) % 16)) & 1;
+                    if bit == 0 || recv_idx == send_idx {
+                        p.on_message(m);
+                    }
+                }
+            }
+        }
+        let decided: Vec<bool> = procs
+            .iter()
+            .filter_map(|p| p.decision())
+            .collect();
+        if let Some(&first) = decided.first() {
+            prop_assert!(decided.iter().all(|&d| d == first), "agreement under loss");
+            if proposals.iter().all(|&p| p == proposals[0]) {
+                prop_assert_eq!(first, proposals[0], "validity under loss");
+            }
+        }
+    }
+}
+
+fn xloss_seed() -> u64 {
+    0x1055
+}
