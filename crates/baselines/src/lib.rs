@@ -23,6 +23,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Quorum thresholds are written in the papers' literal `f + 1` /
+// `2f + 1` form; clippy's `> f` rewrite is equivalent but obscures the
+// correspondence with the protocol descriptions.
+#![allow(clippy::int_plus_one)]
 
 pub mod abba;
 pub mod bracha;

@@ -9,6 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
+use turquois_harness::runner;
 use turquois_harness::{Protocol, ProposalDistribution, Scenario};
 
 fn simulated_latency(scenario: &Scenario, seed: u64) -> Duration {
@@ -22,6 +23,7 @@ fn simulated_latency(scenario: &Scenario, seed: u64) -> Duration {
 }
 
 fn bench_table1(c: &mut Criterion) {
+    let threads = runner::threads_from_env();
     let mut group = c.benchmark_group("table1_failure_free");
     group.sample_size(10);
     for &n in &[4usize, 7, 10, 13, 16] {
@@ -41,11 +43,15 @@ fn bench_table1(c: &mut Criterion) {
                 );
                 group.bench_function(id, |b| {
                     b.iter_custom(|iters| {
-                        let mut total = Duration::ZERO;
-                        for i in 0..iters {
-                            total += simulated_latency(&scenario, 0xB1 + i);
-                        }
-                        total
+                        // Fan the iterations across the worker pool;
+                        // Duration sums are exact integer nanoseconds,
+                        // so the total is order-independent.
+                        let seeds: Vec<u64> = (0..iters).collect();
+                        runner::run_indexed(threads, &seeds, |_, &i| {
+                            simulated_latency(&scenario, 0xB1 + i)
+                        })
+                        .into_iter()
+                        .sum()
                     })
                 });
             }

@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
+use turquois_harness::runner;
 use turquois_harness::{FaultLoad, Protocol, ProposalDistribution, Scenario};
 
 fn simulated_latency(scenario: &Scenario, seed: u64) -> Duration {
@@ -17,6 +18,7 @@ fn simulated_latency(scenario: &Scenario, seed: u64) -> Duration {
 }
 
 fn bench_table3(c: &mut Criterion) {
+    let threads = runner::threads_from_env();
     let mut group = c.benchmark_group("table3_byzantine");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(10));
@@ -36,11 +38,14 @@ fn bench_table3(c: &mut Criterion) {
                 let id = BenchmarkId::new(format!("{}_{}", protocol.name(), dist.name()), n);
                 group.bench_function(id, |b| {
                     b.iter_custom(|iters| {
-                        let mut total = Duration::ZERO;
-                        for i in 0..iters {
-                            total += simulated_latency(&scenario, 0xB3 + i);
-                        }
-                        total
+                        // Order-independent: Duration sums are exact
+                        // integer nanoseconds (see table1.rs).
+                        let seeds: Vec<u64> = (0..iters).collect();
+                        runner::run_indexed(threads, &seeds, |_, &i| {
+                            simulated_latency(&scenario, 0xB3 + i)
+                        })
+                        .into_iter()
+                        .sum()
                     })
                 });
             }

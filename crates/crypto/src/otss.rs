@@ -94,7 +94,7 @@ impl fmt::Display for Value {
 /// Returns `true` when `⊥` is a legal proposal value at `phase`
 /// (DECIDE phases, `φ mod 3 = 0`).
 pub fn bot_legal_at(phase: u32) -> bool {
-    phase % 3 == 0
+    phase.is_multiple_of(3)
 }
 
 /// A revealed one-time secret, attached to a message as its signature.

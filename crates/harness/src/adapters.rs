@@ -60,6 +60,10 @@ impl RunProbe {
 /// Shared handle to a [`RunProbe`].
 pub type SharedProbe = Rc<RefCell<RunProbe>>;
 
+/// An outgoing-frame mutator installed on Byzantine protocol wrappers
+/// (the §7.2 value-flipping strategies).
+pub type FrameMutation = Box<dyn FnMut(&[u8]) -> Bytes>;
+
 /// The paper's clock-tick interval (§7.1).
 pub const TICK_INTERVAL: Duration = Duration::from_millis(10);
 
@@ -219,7 +223,7 @@ pub struct BrachaApp {
     cost: CostModel,
     probe: SharedProbe,
     /// Optional mutation of outgoing messages (Byzantine strategies).
-    mutate: Option<Box<dyn FnMut(&[u8]) -> Bytes>>,
+    mutate: Option<FrameMutation>,
     /// Byzantine wrappers suppress decisions (only correct processes
     /// count toward k).
     decide_enabled: bool,
@@ -244,7 +248,7 @@ impl BrachaApp {
     /// Installs an outgoing-message mutator (used by the Byzantine
     /// value-flipping strategy of §7.2) and suppresses decisions — a
     /// Byzantine node never counts toward k.
-    pub fn with_mutation(mut self, mutate: Box<dyn FnMut(&[u8]) -> Bytes>) -> Self {
+    pub fn with_mutation(mut self, mutate: FrameMutation) -> Self {
         self.mutate = Some(mutate);
         self.decide_enabled = false;
         self

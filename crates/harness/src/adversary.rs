@@ -14,7 +14,7 @@
 //! never call `decide`, so the simulator's decision count only reflects
 //! correct processes.
 
-use crate::adapters::{pad_to, BrachaApp, SharedProbe, TICK_INTERVAL};
+use crate::adapters::{pad_to, BrachaApp, FrameMutation, SharedProbe, TICK_INTERVAL};
 use bytes::Bytes;
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -123,7 +123,7 @@ pub fn byzantine_bracha_app(
 
 /// The raw value-flipping mutation applied to a Byzantine Bracha node's
 /// outgoing messages (exposed for tests and custom fault loads).
-pub fn bracha_flip_mutation(me: usize) -> Box<dyn FnMut(&[u8]) -> Bytes> {
+pub fn bracha_flip_mutation(me: usize) -> FrameMutation {
     Box::new(move |bytes| {
         let Some(msg) = RbcMessage::decode(bytes) else {
             return Bytes::copy_from_slice(bytes);
@@ -184,7 +184,7 @@ impl ByzantineAbbaApp {
         };
         let prevote = turquois_baselines::abba::AbbaMessage::PreVote {
             round,
-            value: salvo % 2 == 0,
+            value: salvo.is_multiple_of(2),
             share,
             just: turquois_baselines::abba::PreVoteJust::Hard(
                 turquois_crypto::threshold::ThresholdSignature { tag: junk("sig") },

@@ -10,39 +10,54 @@
 //! the CPU, is the dominant resource — which is the deeper half of the
 //! paper's argument.
 //!
-//! Usage: `cost_ablation [reps]` (default 15).
+//! Usage: `cost_ablation [reps]` (default 15; `TURQUOIS_THREADS` fans
+//! the grid out — output is byte-identical at any count).
 
 use turquois_crypto::cost::CostModel;
 use turquois_harness::experiment::reps_from_env;
+use turquois_harness::runner::{self, BenchRecord};
 use turquois_harness::*;
 
 fn main() {
     let reps = reps_from_env(15);
+    let threads = runner::threads_from_env();
     let n = 10;
     println!("A6 — CPU cost-model ablation, n={n}, failure-free unanimous ({reps} reps)\n");
     println!(
         "{:>16} {:>12} {:>12} {:>12}",
         "cost model", "Turquois", "ABBA", "Bracha"
     );
-    for (name, model) in [
+
+    let models = [
         ("pentium3-600", CostModel::pentium3_600()),
         ("modern", CostModel::modern()),
         ("free", CostModel::free()),
-    ] {
-        let mut cells = Vec::new();
+    ];
+    let mut grid = Vec::new();
+    for &(_, model) in &models {
         for proto in [Protocol::Turquois, Protocol::Abba, Protocol::Bracha] {
-            let mut means = Vec::new();
-            for rep in 0..reps {
-                let outcome = Scenario::new(proto, n)
-                    .cost_model(model)
-                    .seed(0xA6u64.wrapping_mul(rep as u64 + 1))
-                    .run_once()
-                    .expect("valid scenario");
-                assert!(outcome.agreement_holds() && outcome.validity_holds());
-                if let Some(m) = outcome.mean_latency_ms() {
-                    means.push(m);
-                }
-            }
+            grid.push((model, proto));
+        }
+    }
+    let jobs: Vec<(usize, usize)> = (0..grid.len())
+        .flat_map(|cell| (0..reps).map(move |rep| (cell, rep)))
+        .collect();
+    let (results, report) = runner::run_indexed_timed(threads, &jobs, |_, &(cell, rep)| {
+        let (model, proto) = grid[cell];
+        let outcome = Scenario::new(proto, n)
+            .cost_model(model)
+            .seed(0xA6u64.wrapping_mul(rep as u64 + 1))
+            .run_once()
+            .expect("valid scenario");
+        assert!(outcome.agreement_holds() && outcome.validity_holds());
+        outcome.mean_latency_ms()
+    });
+
+    let mut results = results.into_iter();
+    for &(name, _) in &models {
+        let mut cells = Vec::new();
+        for _ in 0..3 {
+            let means: Vec<f64> = results.by_ref().take(reps).flatten().collect();
             cells.push(means.iter().sum::<f64>() / means.len().max(1) as f64);
         }
         println!(
@@ -51,4 +66,12 @@ fn main() {
         );
     }
     println!("\nIf the ABBA gap persists under `free`, the medium — not RSA — dominates.");
+    report.log("cost_ablation");
+    runner::write_bench_json(
+        "cost_ablation",
+        &[BenchRecord {
+            label: "cost_ablation".into(),
+            report,
+        }],
+    );
 }

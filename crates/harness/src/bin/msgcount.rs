@@ -6,31 +6,47 @@
 //! frames actually transmitted (including MAC retransmissions) per
 //! consensus, per group size.
 //!
-//! Usage: `msgcount [reps]` (default 10).
+//! Usage: `msgcount [reps]` (default 10; `TURQUOIS_THREADS` fans the
+//! grid out — output is byte-identical at any count).
 
 use turquois_harness::experiment::{reps_from_env, sizes_from_env};
+use turquois_harness::runner::{self, BenchRecord};
 use turquois_harness::*;
 
 fn main() {
     let reps = reps_from_env(10);
     let sizes = sizes_from_env();
+    let threads = runner::threads_from_env();
     println!("A5 — data frames per consensus, failure-free unanimous ({reps} reps)\n");
     println!(
         "{:>6} {:>12} {:>12} {:>12} {:>16}",
         "n", "Turquois", "ABBA", "Bracha", "Bracha/Turquois"
     );
+
+    let mut grid = Vec::new();
+    for &n in &sizes {
+        for proto in [Protocol::Turquois, Protocol::Abba, Protocol::Bracha] {
+            grid.push((n, proto));
+        }
+    }
+    let jobs: Vec<(usize, usize)> = (0..grid.len())
+        .flat_map(|cell| (0..reps).map(move |rep| (cell, rep)))
+        .collect();
+    let (results, report) = runner::run_indexed_timed(threads, &jobs, |_, &(cell, rep)| {
+        let (n, proto) = grid[cell];
+        let outcome = Scenario::new(proto, n)
+            .seed(0xA5u64.wrapping_mul(rep as u64 + 1))
+            .run_once()
+            .expect("valid scenario");
+        assert!(outcome.agreement_holds());
+        outcome.stats.frames_sent()
+    });
+
+    let mut results = results.into_iter();
     for &n in &sizes {
         let mut per_proto = Vec::new();
-        for proto in [Protocol::Turquois, Protocol::Abba, Protocol::Bracha] {
-            let mut frames = 0u64;
-            for rep in 0..reps {
-                let outcome = Scenario::new(proto, n)
-                    .seed(0xA5u64.wrapping_mul(rep as u64 + 1))
-                    .run_once()
-                    .expect("valid scenario");
-                assert!(outcome.agreement_holds());
-                frames += outcome.stats.frames_sent();
-            }
+        for _ in 0..3 {
+            let frames: u64 = results.by_ref().take(reps).sum();
             per_proto.push(frames as f64 / reps as f64);
         }
         println!(
@@ -41,4 +57,12 @@ fn main() {
             per_proto[2] / per_proto[0]
         );
     }
+    report.log("msgcount");
+    runner::write_bench_json(
+        "msgcount",
+        &[BenchRecord {
+            label: "msgcount".into(),
+            report,
+        }],
+    );
 }

@@ -3,20 +3,32 @@
 //! unanimous and divergent proposals, Turquois vs ABBA vs Bracha.
 //!
 //! Usage: `table1 [reps]` (default 50; env `TURQUOIS_REPS`,
-//! `TURQUOIS_SIZES` also respected).
+//! `TURQUOIS_SIZES`, `TURQUOIS_THREADS` also respected). The table is
+//! byte-identical at any thread count; wall-clock timing goes to stderr
+//! and `results/BENCH_runner.json`.
 
-use turquois_harness::experiment::{paper_table, render_table, reps_from_env, sizes_from_env};
+use turquois_harness::experiment::{paper_table_on, render_table, reps_from_env, sizes_from_env};
+use turquois_harness::runner::{self, BenchRecord};
 use turquois_harness::FaultLoad;
 
 fn main() {
     let reps = reps_from_env(50);
     let sizes = sizes_from_env();
-    let rows = paper_table(FaultLoad::FailureFree, &sizes, reps);
+    let threads = runner::threads_from_env();
+    let (rows, report) = paper_table_on(FaultLoad::FailureFree, &sizes, reps, threads);
     println!(
         "{}",
         render_table(
             &format!("Table 1 — failure-free fault load ({reps} repetitions, latency ms ± 95% CI)"),
             &rows
         )
+    );
+    report.log("table1");
+    runner::write_bench_json(
+        "table1",
+        &[BenchRecord {
+            label: "table1".into(),
+            report,
+        }],
     );
 }

@@ -1,20 +1,31 @@
 //! Regenerates Table 2 of the paper: average latency with
 //! `f = ⌊(n−1)/3⌋` processes crashed before the run (fail-stop).
 //!
-//! Usage: `table2 [reps]` (default 50).
+//! Usage: `table2 [reps]` (default 50; `TURQUOIS_THREADS` selects the
+//! worker pool — output is byte-identical at any thread count).
 
-use turquois_harness::experiment::{paper_table, render_table, reps_from_env, sizes_from_env};
+use turquois_harness::experiment::{paper_table_on, render_table, reps_from_env, sizes_from_env};
+use turquois_harness::runner::{self, BenchRecord};
 use turquois_harness::FaultLoad;
 
 fn main() {
     let reps = reps_from_env(50);
     let sizes = sizes_from_env();
-    let rows = paper_table(FaultLoad::FailStop, &sizes, reps);
+    let threads = runner::threads_from_env();
+    let (rows, report) = paper_table_on(FaultLoad::FailStop, &sizes, reps, threads);
     println!(
         "{}",
         render_table(
             &format!("Table 2 — fail-stop fault load ({reps} repetitions, latency ms ± 95% CI)"),
             &rows
         )
+    );
+    report.log("table2");
+    runner::write_bench_json(
+        "table2",
+        &[BenchRecord {
+            label: "table2".into(),
+            report,
+        }],
     );
 }

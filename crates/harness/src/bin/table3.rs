@@ -2,20 +2,31 @@
 //! `f = ⌊(n−1)/3⌋` Byzantine processes following the §7.2 attack
 //! strategies.
 //!
-//! Usage: `table3 [reps]` (default 50).
+//! Usage: `table3 [reps]` (default 50; `TURQUOIS_THREADS` selects the
+//! worker pool — output is byte-identical at any thread count).
 
-use turquois_harness::experiment::{paper_table, render_table, reps_from_env, sizes_from_env};
+use turquois_harness::experiment::{paper_table_on, render_table, reps_from_env, sizes_from_env};
+use turquois_harness::runner::{self, BenchRecord};
 use turquois_harness::FaultLoad;
 
 fn main() {
     let reps = reps_from_env(50);
     let sizes = sizes_from_env();
-    let rows = paper_table(FaultLoad::Byzantine, &sizes, reps);
+    let threads = runner::threads_from_env();
+    let (rows, report) = paper_table_on(FaultLoad::Byzantine, &sizes, reps, threads);
     println!(
         "{}",
         render_table(
             &format!("Table 3 — Byzantine fault load ({reps} repetitions, latency ms ± 95% CI)"),
             &rows
         )
+    );
+    report.log("table3");
+    runner::write_bench_json(
+        "table3",
+        &[BenchRecord {
+            label: "table3".into(),
+            report,
+        }],
     );
 }

@@ -5,7 +5,9 @@
 //! interval and shows the trade-off: short ticks burn airtime
 //! (collisions) for marginal latency; long ticks stretch loss recovery.
 //!
-//! Usage: `tick_ablation [reps]` (default 15).
+//! Usage: `tick_ablation [reps]` (default 15; `TURQUOIS_THREADS` fans
+//! the grid out — output is byte-identical at any count). Each worker
+//! builds its own simulator; only plain results cross threads.
 
 use std::time::Duration;
 use turquois_core::config::Config;
@@ -14,52 +16,75 @@ use turquois_core::KeyRing;
 use turquois_crypto::cost::CostModel;
 use turquois_harness::adapters::{RunProbe, TurquoisApp};
 use turquois_harness::experiment::reps_from_env;
+use turquois_harness::runner::{self, BenchRecord};
 use wireless_net::fault::IidLoss;
 use wireless_net::sim::{Application, SimConfig, Simulator};
 use wireless_net::time::SimTime;
 
 fn main() {
     let reps = reps_from_env(15);
+    let threads = runner::threads_from_env();
     let n = 7;
     let cfg = Config::evaluation(n).expect("valid");
     println!("A7 — clock-tick sweep, n={n}, 10% loss, divergent ({reps} reps)\n");
-    println!("{:>10} {:>12} {:>12} {:>12}", "tick ms", "mean ms", "frames", "collisions");
-    for tick_ms in [2u64, 5, 10, 20, 50] {
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "tick ms", "mean ms", "frames", "collisions"
+    );
+
+    let ticks = [2u64, 5, 10, 20, 50];
+    let jobs: Vec<(usize, usize)> = (0..ticks.len())
+        .flat_map(|cell| (0..reps).map(move |rep| (cell, rep)))
+        .collect();
+    let (results, report) = runner::run_indexed_timed(threads, &jobs, |_, &(cell, rep)| {
+        let tick_ms = ticks[cell];
+        let seed = 0xA7u64.wrapping_mul(rep as u64 + 1);
+        let rings = KeyRing::trusted_setup(n, 600, seed);
+        let probe = RunProbe::new(n);
+        let apps: Vec<Box<dyn Application>> = rings
+            .into_iter()
+            .enumerate()
+            .map(|(i, ring)| {
+                let inst = Turquois::new(cfg, i, i % 2 == 1, ring, seed + i as u64);
+                Box::new(
+                    TurquoisApp::new(inst, CostModel::pentium3_600(), probe.clone())
+                        .tick_interval(Duration::from_millis(tick_ms)),
+                ) as Box<dyn Application>
+            })
+            .collect();
+        let mut sim = Simulator::new(
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+            Box::new(IidLoss::new(0.10, seed)),
+            apps,
+        );
+        sim.run_until_k_decided(n, SimTime::from_millis(60_000));
+        let lat: Vec<f64> = (0..n)
+            .filter_map(|i| {
+                sim.decisions()[i]
+                    .map(|d| d.time.saturating_since(sim.start_times()[i]).as_secs_f64() * 1e3)
+            })
+            .collect();
+        let mean = if lat.is_empty() {
+            None
+        } else {
+            Some(lat.iter().sum::<f64>() / lat.len() as f64)
+        };
+        (sim.stats().frames_sent(), sim.stats().collisions, mean)
+    });
+
+    let mut results = results.into_iter();
+    for &tick_ms in &ticks {
         let mut means = Vec::new();
         let mut frames = 0u64;
         let mut collisions = 0u64;
-        for rep in 0..reps {
-            let seed = 0xA7u64.wrapping_mul(rep as u64 + 1);
-            let rings = KeyRing::trusted_setup(n, 600, seed);
-            let probe = RunProbe::new(n);
-            let apps: Vec<Box<dyn Application>> = rings
-                .into_iter()
-                .enumerate()
-                .map(|(i, ring)| {
-                    let inst = Turquois::new(cfg, i, i % 2 == 1, ring, seed + i as u64);
-                    Box::new(
-                        TurquoisApp::new(inst, CostModel::pentium3_600(), probe.clone())
-                            .tick_interval(Duration::from_millis(tick_ms)),
-                    ) as Box<dyn Application>
-                })
-                .collect();
-            let mut sim = Simulator::new(
-                SimConfig { seed, ..SimConfig::default() },
-                Box::new(IidLoss::new(0.10, seed)),
-                apps,
-            );
-            sim.run_until_k_decided(n, SimTime::from_millis(60_000));
-            frames += sim.stats().frames_sent();
-            collisions += sim.stats().collisions;
-            let lat: Vec<f64> = (0..n)
-                .filter_map(|i| {
-                    sim.decisions()[i].map(|d| {
-                        d.time.saturating_since(sim.start_times()[i]).as_secs_f64() * 1e3
-                    })
-                })
-                .collect();
-            if !lat.is_empty() {
-                means.push(lat.iter().sum::<f64>() / lat.len() as f64);
+        for (f, c, mean) in results.by_ref().take(reps) {
+            frames += f;
+            collisions += c;
+            if let Some(mean) = mean {
+                means.push(mean);
             }
         }
         println!(
@@ -69,4 +94,12 @@ fn main() {
             collisions as f64 / reps as f64,
         );
     }
+    report.log("tick_ablation");
+    runner::write_bench_json(
+        "tick_ablation",
+        &[BenchRecord {
+            label: "tick_ablation".into(),
+            report,
+        }],
+    );
 }

@@ -2,7 +2,14 @@
 //! (§7.2): 50 repetitions per cell, average latency over all processes,
 //! 95 % confidence interval; safety (agreement + validity) asserted on
 //! every single run.
+//!
+//! Measurement fans `(cell, rep)` jobs across the [`crate::runner`]
+//! worker pool. Each job owns its simulator for the duration of one
+//! run; aggregation consumes the results in job order, so every number,
+//! table byte, and error message is identical to the serial path
+//! regardless of `TURQUOIS_THREADS`.
 
+use crate::runner::{self, RunnerReport};
 use crate::scenario::{FaultLoad, Protocol, ProposalDistribution, Scenario};
 use crate::stats::LatencyStats;
 
@@ -13,7 +20,7 @@ pub const PAPER_SIZES: [usize; 5] = [4, 7, 10, 13, 16];
 pub const PAPER_REPS: usize = 50;
 
 /// Result of measuring one experiment cell.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CellResult {
     /// Latency statistics over the repetitions.
     pub latency: LatencyStats,
@@ -54,34 +61,54 @@ impl std::fmt::Display for MeasureError {
 
 impl std::error::Error for MeasureError {}
 
-/// Runs `reps` repetitions of `scenario` (varying the seed per
-/// repetition, like the paper's 50 signaled executions) and aggregates
-/// latency.
-///
-/// # Errors
-///
-/// Safety violations and configuration errors; see [`MeasureError`].
-pub fn measure(scenario: &Scenario, reps: usize) -> Result<CellResult, MeasureError> {
+/// What one repetition contributes to a cell aggregate — plain data,
+/// the only thing that crosses a worker-thread boundary.
+#[derive(Clone, Debug)]
+struct RepSample {
+    frames: u64,
+    collisions: u64,
+    complete: bool,
+    mean_ms: Option<f64>,
+}
+
+/// Runs one `(scenario, rep)` job: seed, simulate, check safety.
+fn run_rep(scenario: &Scenario, rep: usize) -> Result<RepSample, MeasureError> {
+    let outcome = scenario
+        .clone()
+        .seed(scenario_rep_seed(scenario, rep))
+        .run_once()
+        .map_err(MeasureError::Scenario)?;
+    if !outcome.agreement_holds() || !outcome.validity_holds() {
+        return Err(MeasureError::SafetyViolation { rep });
+    }
+    Ok(RepSample {
+        frames: outcome.stats.frames_sent(),
+        collisions: outcome.stats.collisions,
+        complete: outcome.k_reached(),
+        mean_ms: outcome.mean_latency_ms(),
+    })
+}
+
+/// Folds per-rep samples **in repetition order** into a cell result,
+/// reproducing the serial loop exactly: the first failing repetition's
+/// error wins, incomplete runs contribute no latency sample.
+fn aggregate(
+    reps: usize,
+    samples: impl Iterator<Item = Result<RepSample, MeasureError>>,
+) -> Result<CellResult, MeasureError> {
     let mut rep_means = Vec::with_capacity(reps);
     let mut incomplete = 0usize;
     let mut frames = 0u64;
     let mut collisions = 0u64;
-    for rep in 0..reps {
-        let outcome = scenario
-            .clone()
-            .seed(scenario_rep_seed(scenario, rep))
-            .run_once()
-            .map_err(MeasureError::Scenario)?;
-        if !outcome.agreement_holds() || !outcome.validity_holds() {
-            return Err(MeasureError::SafetyViolation { rep });
-        }
-        frames += outcome.stats.frames_sent();
-        collisions += outcome.stats.collisions;
-        if !outcome.k_reached() {
+    for sample in samples {
+        let sample = sample?;
+        frames += sample.frames;
+        collisions += sample.collisions;
+        if !sample.complete {
             incomplete += 1;
             continue;
         }
-        if let Some(mean) = outcome.mean_latency_ms() {
+        if let Some(mean) = sample.mean_ms {
             rep_means.push(mean);
         }
     }
@@ -94,6 +121,29 @@ pub fn measure(scenario: &Scenario, reps: usize) -> Result<CellResult, MeasureEr
         mean_frames: frames as f64 / reps as f64,
         mean_collisions: collisions as f64 / reps as f64,
     })
+}
+
+/// Runs `reps` repetitions of `scenario` (varying the seed per
+/// repetition, like the paper's 50 signaled executions) and aggregates
+/// latency. Repetitions fan out across `TURQUOIS_THREADS` workers; the
+/// result is byte-identical to the serial path.
+///
+/// # Errors
+///
+/// Safety violations and configuration errors; see [`MeasureError`].
+pub fn measure(scenario: &Scenario, reps: usize) -> Result<CellResult, MeasureError> {
+    measure_on(scenario, reps, runner::threads_from_env())
+}
+
+/// [`measure`] with an explicit worker-thread count (1 = serial path).
+pub fn measure_on(
+    scenario: &Scenario,
+    reps: usize,
+    threads: usize,
+) -> Result<CellResult, MeasureError> {
+    let jobs: Vec<usize> = (0..reps).collect();
+    let samples = runner::run_indexed(threads, &jobs, |_, &rep| run_rep(scenario, rep));
+    aggregate(reps, samples.into_iter())
 }
 
 fn scenario_rep_seed(scenario: &Scenario, rep: usize) -> u64 {
@@ -114,28 +164,60 @@ pub struct TableRow {
     pub cells: Vec<Result<CellResult, String>>,
 }
 
-/// Generates a full paper-style table for one fault load.
+/// Generates a full paper-style table for one fault load, fanning every
+/// `(cell, rep)` job of the whole grid across `TURQUOIS_THREADS`
+/// workers.
 ///
 /// Cells that fail to measure carry their error text instead of
 /// aborting the table.
 pub fn paper_table(fault_load: FaultLoad, sizes: &[usize], reps: usize) -> Vec<TableRow> {
-    let mut rows = Vec::new();
+    paper_table_on(fault_load, sizes, reps, runner::threads_from_env()).0
+}
+
+/// [`paper_table`] with an explicit worker-thread count, returning the
+/// wall-clock report of the fan-out alongside the rows.
+pub fn paper_table_on(
+    fault_load: FaultLoad,
+    sizes: &[usize],
+    reps: usize,
+    threads: usize,
+) -> (Vec<TableRow>, RunnerReport) {
+    // Enumerate cells in render order, then every (cell, rep) job
+    // cell-major, so results come back as contiguous per-cell chunks.
+    let mut scenarios = Vec::new();
     for &n in sizes {
-        let mut cells = Vec::new();
         for protocol in Protocol::ALL {
             for dist in [
                 ProposalDistribution::Unanimous,
                 ProposalDistribution::Divergent,
             ] {
-                let scenario = Scenario::new(protocol, n)
-                    .proposals(dist)
-                    .fault_load(fault_load);
-                cells.push(measure(&scenario, reps).map_err(|e| e.to_string()));
+                scenarios.push(
+                    Scenario::new(protocol, n)
+                        .proposals(dist)
+                        .fault_load(fault_load),
+                );
             }
+        }
+    }
+    let jobs: Vec<(usize, usize)> = (0..scenarios.len())
+        .flat_map(|cell| (0..reps).map(move |rep| (cell, rep)))
+        .collect();
+    let (samples, report) = runner::run_indexed_timed(threads, &jobs, |_, &(cell, rep)| {
+        run_rep(&scenarios[cell], rep)
+    });
+
+    let cells_per_row = scenarios.len() / sizes.len().max(1);
+    let mut samples = samples.into_iter();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut cells = Vec::new();
+        for _ in 0..cells_per_row {
+            let cell = aggregate(reps, samples.by_ref().take(reps)).map_err(|e| e.to_string());
+            cells.push(cell);
         }
         rows.push(TableRow { n, cells });
     }
-    rows
+    (rows, report)
 }
 
 /// Renders rows in the paper's layout.
@@ -174,41 +256,80 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
     out
 }
 
+/// Truncates to at most `max` characters (not bytes — slicing at a
+/// byte offset would panic mid-way through a multi-byte character).
 fn truncate(s: &str, max: usize) -> String {
-    if s.len() <= max {
-        s.to_string()
-    } else {
-        format!("{}…", &s[..max])
+    match s.char_indices().nth(max) {
+        None => s.to_string(),
+        Some((cut, _)) => format!("{}…", &s[..cut]),
     }
 }
 
 /// Reads the repetition count from `TURQUOIS_REPS` (or the first CLI
 /// argument), defaulting to `default`. Lets the full paper grid
-/// (50 reps) coexist with quick smoke runs.
+/// (50 reps) coexist with quick smoke runs. Malformed values warn on
+/// stderr and fall through instead of being silently ignored.
 pub fn reps_from_env(default: usize) -> usize {
     if let Some(arg) = std::env::args().nth(1) {
-        if let Ok(v) = arg.parse() {
-            return v;
+        match arg.parse() {
+            Ok(v) => return v,
+            Err(_) => eprintln!(
+                "warning: ignoring malformed repetition argument {arg:?}: \
+                 expected a non-negative integer"
+            ),
         }
     }
-    std::env::var("TURQUOIS_REPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match std::env::var("TURQUOIS_REPS") {
+        Ok(raw) => match raw.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!(
+                    "warning: ignoring malformed TURQUOIS_REPS={raw:?}: \
+                     expected a non-negative integer; using {default}"
+                );
+                default
+            }
+        },
+        Err(std::env::VarError::NotPresent) => default,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!("warning: ignoring non-UTF-8 TURQUOIS_REPS; using {default}");
+            default
+        }
+    }
 }
 
 /// Reads the group sizes from `TURQUOIS_SIZES` (comma-separated),
-/// defaulting to the paper's grid.
+/// defaulting to the paper's grid. Malformed entries warn on stderr;
+/// if nothing valid remains, the paper grid is used.
 pub fn sizes_from_env() -> Vec<usize> {
-    std::env::var("TURQUOIS_SIZES")
-        .ok()
-        .map(|v| {
-            v.split(',')
-                .filter_map(|s| s.trim().parse().ok())
-                .collect()
-        })
-        .filter(|v: &Vec<usize>| !v.is_empty())
-        .unwrap_or_else(|| PAPER_SIZES.to_vec())
+    let raw = match std::env::var("TURQUOIS_SIZES") {
+        Ok(raw) => raw,
+        Err(std::env::VarError::NotPresent) => return PAPER_SIZES.to_vec(),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!(
+                "warning: ignoring non-UTF-8 TURQUOIS_SIZES; using the paper grid {PAPER_SIZES:?}"
+            );
+            return PAPER_SIZES.to_vec();
+        }
+    };
+    let mut sizes = Vec::new();
+    for token in raw.split(',') {
+        match token.trim().parse() {
+            Ok(n) => sizes.push(n),
+            Err(_) => eprintln!(
+                "warning: ignoring malformed TURQUOIS_SIZES entry {token:?}: \
+                 expected a group size"
+            ),
+        }
+    }
+    if sizes.is_empty() {
+        eprintln!(
+            "warning: TURQUOIS_SIZES={raw:?} contains no valid sizes; \
+             using the paper grid {PAPER_SIZES:?}"
+        );
+        return PAPER_SIZES.to_vec();
+    }
+    sizes
 }
 
 #[cfg(test)]
@@ -223,6 +344,17 @@ mod tests {
         assert!(cell.latency.mean_ms > 0.0);
         assert_eq!(cell.incomplete_runs, 0);
         assert!(cell.mean_frames > 0.0);
+    }
+
+    #[test]
+    fn measure_identical_across_thread_counts() {
+        let scenario = Scenario::new(Protocol::Turquois, 4)
+            .proposals(ProposalDistribution::Divergent);
+        let serial = measure_on(&scenario, 4, 1).expect("serial succeeds");
+        for threads in [2, 4] {
+            let parallel = measure_on(&scenario, 4, threads).expect("parallel succeeds");
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
     }
 
     #[test]
@@ -272,5 +404,15 @@ mod tests {
     fn truncate_behaviour() {
         assert_eq!(truncate("short", 10), "short");
         assert_eq!(truncate("a very long message", 6), "a very…");
+    }
+
+    #[test]
+    fn truncate_respects_char_boundaries() {
+        // The 12-char prefix of this message ends inside the multi-byte
+        // "σ" if sliced by bytes — exactly the render_table error path.
+        assert_eq!(truncate("latência σσσ excedida", 12), "latência σσσ…");
+        assert_eq!(truncate("ééééé", 3), "ééé…");
+        assert_eq!(truncate("ééé", 3), "ééé");
+        assert_eq!(truncate("", 5), "");
     }
 }

@@ -12,6 +12,8 @@
 //!   distribution × fault load × loss model.
 //! * [`experiment`] — 50-repetition measurement with mean ± 95 % CI and
 //!   per-run safety assertions; paper-style table rendering.
+//! * [`runner`] — deterministic parallel `(cell, rep)` fan-out with
+//!   byte-identical output at any `TURQUOIS_THREADS` count.
 //! * [`stats`] — Student-t confidence intervals.
 //!
 //! Binaries (`cargo run --release -p turquois-harness --bin …`):
@@ -25,6 +27,7 @@
 pub mod adapters;
 pub mod adversary;
 pub mod experiment;
+pub mod runner;
 pub mod scenario;
 pub mod stats;
 

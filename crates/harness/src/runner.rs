@@ -1,0 +1,332 @@
+//! Deterministic parallel job runner for the experiment harness.
+//!
+//! Every experiment in this crate decomposes into independent
+//! `(cell, repetition)` jobs: each job seeds its own scenario, builds
+//! its own single-threaded simulator, and returns plain data. This
+//! module fans those jobs across a `std::thread::scope` worker pool and
+//! merges the results **by job index**, so aggregation sees exactly the
+//! sequence the legacy serial loop produced — rendered tables, stats,
+//! and error reporting are byte-identical at any thread count.
+//!
+//! Thread-safety contract: only job *descriptions* (plain config data)
+//! and job *results* (plain outcome data) cross threads. The simulator
+//! itself (`wireless-net::sim`) stays single-threaded and `!Send`; each
+//! worker constructs and drops its own instance inside the job closure.
+//! Nothing here touches the protocol engines, which remain sans-io.
+//!
+//! Wall-clock timing lives here — in the driver — and only here; the
+//! engines and the simulator never see a host clock.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Environment variable selecting the worker-pool size.
+pub const THREADS_ENV: &str = "TURQUOIS_THREADS";
+
+/// Reads the worker-pool size from `TURQUOIS_THREADS`.
+///
+/// Unset ⇒ the host's available parallelism; `1` ⇒ the legacy serial
+/// path (no worker threads are spawned at all). Malformed values warn
+/// on stderr and fall back to the default rather than failing silently.
+pub fn threads_from_env() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(t) if t >= 1 => t,
+            _ => {
+                eprintln!(
+                    "warning: ignoring malformed {THREADS_ENV}={raw:?}: \
+                     expected a positive integer; using {}",
+                    default_threads()
+                );
+                default_threads()
+            }
+        },
+        Err(std::env::VarError::NotPresent) => default_threads(),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!(
+                "warning: ignoring non-UTF-8 {THREADS_ENV}; using {}",
+                default_threads()
+            );
+            default_threads()
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every job and returns the results **in job order**.
+///
+/// With `threads <= 1` this is a plain in-order loop (the legacy serial
+/// path). Otherwise `min(threads, jobs.len())` scoped workers pull job
+/// indices from a shared cursor and write results into per-index slots;
+/// the merged vector is indistinguishable from the serial one.
+///
+/// # Panics
+///
+/// A panicking job (e.g. a safety assertion in an experiment binary)
+/// panics the calling thread once all workers have been joined — a
+/// violation on a worker is exactly as loud as on the serial path.
+pub fn run_indexed<J, R, F>(threads: usize, jobs: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect();
+    }
+    let workers = threads.min(jobs.len());
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= jobs.len() {
+                    break;
+                }
+                let result = f(idx, &jobs[idx]);
+                *slots[idx].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index was claimed and completed")
+        })
+        .collect()
+}
+
+/// Wall-clock accounting for one [`run_indexed_timed`] fan-out.
+///
+/// `busy` estimates the serial-equivalent cost of the jobs: process CPU
+/// time consumed during the fan-out where the platform exposes it
+/// (`/proc/self/stat`), capped by the summed per-job wall times — the
+/// cap matters on an oversubscribed host, where a descheduled worker's
+/// wait would otherwise count as work. `elapsed` is the wall time of
+/// the whole fan-out; `busy / elapsed` is the achieved speedup
+/// (≈ 1.0 on the serial path or a single-core host).
+#[derive(Clone, Copy, Debug)]
+pub struct RunnerReport {
+    /// Worker threads actually used (`min(threads, jobs)`, at least 1).
+    pub threads: usize,
+    /// Number of jobs executed.
+    pub jobs: usize,
+    /// Wall-clock time of the whole fan-out.
+    pub elapsed: Duration,
+    /// Summed wall-clock time spent inside jobs (serial-equivalent).
+    pub busy: Duration,
+}
+
+impl RunnerReport {
+    /// Achieved speedup: serial-equivalent time over elapsed time.
+    pub fn speedup(&self) -> f64 {
+        let elapsed = self.elapsed.as_secs_f64();
+        if elapsed <= 0.0 {
+            1.0
+        } else {
+            self.busy.as_secs_f64() / elapsed
+        }
+    }
+
+    /// One human-readable stderr line (never stdout — experiment stdout
+    /// must stay byte-identical across thread counts).
+    pub fn log(&self, label: &str) {
+        eprintln!(
+            "[runner] {label}: {} jobs on {} thread{} in {:.2}s \
+             (serial-equivalent {:.2}s, speedup {:.2}x)",
+            self.jobs,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.elapsed.as_secs_f64(),
+            self.busy.as_secs_f64(),
+            self.speedup()
+        );
+    }
+}
+
+/// [`run_indexed`] plus wall-clock instrumentation of the fan-out.
+pub fn run_indexed_timed<J, R, F>(threads: usize, jobs: &[J], f: F) -> (Vec<R>, RunnerReport)
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    let busy_ns = AtomicU64::new(0);
+    let cpu_before = process_cpu_time();
+    let started = Instant::now();
+    let results = run_indexed(threads, jobs, |idx, job| {
+        let t0 = Instant::now();
+        let result = f(idx, job);
+        busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
+    });
+    let elapsed = started.elapsed();
+    let job_wall = Duration::from_nanos(busy_ns.into_inner());
+    // Prefer CPU time: per-job wall time over-counts whenever a worker
+    // sits descheduled (more workers than cores), which would report a
+    // phantom speedup. Capping by the job-wall sum keeps unrelated
+    // threads of the process from inflating the estimate the other way.
+    let busy = match (cpu_before, process_cpu_time()) {
+        (Some(before), Some(after)) => after.saturating_sub(before).min(job_wall),
+        _ => job_wall,
+    };
+    let report = RunnerReport {
+        threads: threads.clamp(1, jobs.len().max(1)),
+        jobs: jobs.len(),
+        elapsed,
+        busy,
+    };
+    (results, report)
+}
+
+/// Process CPU time (user + system) from `/proc/self/stat`; `None` on
+/// platforms without procfs. Used only for the telemetry report — the
+/// simulated clocks never see host time.
+fn process_cpu_time() -> Option<Duration> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field may contain spaces; real fields start after ')'.
+    let rest = stat.rsplit_once(')')?.1;
+    let mut fields = rest.split_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    // USER_HZ is 100 on every mainstream Linux configuration.
+    Some(Duration::from_millis((utime + stime) * 10))
+}
+
+/// One labelled fan-out for the machine-readable bench summary.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Table / experiment label (e.g. `"table1"`).
+    pub label: String,
+    /// Timing of that fan-out.
+    pub report: RunnerReport,
+}
+
+/// Writes `results/BENCH_runner.json` (or `$TURQUOIS_BENCH_JSON`): a
+/// machine-readable summary of the runner fan-outs an experiment binary
+/// just performed. Returns the path written. I/O failures warn on
+/// stderr instead of aborting — timing telemetry must never kill an
+/// experiment.
+pub fn write_bench_json(bin: &str, records: &[BenchRecord]) -> Option<PathBuf> {
+    let path = std::env::var_os("TURQUOIS_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new("results").join("BENCH_runner.json"));
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+                return None;
+            }
+        }
+    }
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"bin\": \"{}\",\n", escape_json(bin)));
+    json.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        default_threads()
+    ));
+    json.push_str("  \"tables\": [\n");
+    for (i, rec) in records.iter().enumerate() {
+        let r = &rec.report;
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"jobs\": {}, \"threads\": {}, \
+             \"wall_s\": {:.3}, \"serial_equivalent_s\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            escape_json(&rec.label),
+            r.jobs,
+            r.threads,
+            r.elapsed.as_secs_f64(),
+            r.busy.as_secs_f64(),
+            r.speedup(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&path, json) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_merge_in_job_order() {
+        let jobs: Vec<usize> = (0..97).collect();
+        let serial = run_indexed(1, &jobs, |i, &j| (i, j * 3));
+        for threads in [2, 4, 9] {
+            let parallel = run_indexed(threads, &jobs, |i, &j| (i, j * 3));
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let jobs: Vec<usize> = (0..64).collect();
+        run_indexed(8, &jobs, |_, &j| hits[j].fetch_add(1, Ordering::Relaxed));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_and_single_job_edge_cases() {
+        let none: Vec<u8> = Vec::new();
+        assert!(run_indexed(4, &none, |_, &j| j).is_empty());
+        assert_eq!(run_indexed(4, &[41u8], |_, &j| j + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let jobs: Vec<usize> = (0..32).collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_indexed(4, &jobs, |_, &j| {
+                assert!(j != 17, "seeded safety violation in job {j}");
+                j
+            })
+        }));
+        assert!(outcome.is_err(), "a panicking worker must panic the caller");
+    }
+
+    #[test]
+    fn timed_report_is_sane() {
+        let jobs: Vec<u64> = (0..10).collect();
+        let (results, report) = run_indexed_timed(3, &jobs, |_, &j| j * j);
+        assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+        assert_eq!(report.jobs, 10);
+        assert_eq!(report.threads, 3);
+        assert!(report.speedup().is_finite() && report.speedup() >= 0.0);
+        assert!(report.busy <= report.elapsed.max(Duration::from_secs(1)) * 3);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -5,7 +5,6 @@
 
 use crate::adapters::{AbbaApp, BrachaApp, RunProbe, SharedProbe, TurquoisApp};
 use crate::adversary::{byzantine_bracha_app, ByzantineAbbaApp, ByzantineTurquoisApp};
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use turquois_baselines::abba::{Abba, AbbaKeys};
 use turquois_baselines::bracha::Bracha;
@@ -21,7 +20,7 @@ use wireless_net::stats::NetStats;
 use wireless_net::time::SimTime;
 
 /// The protocol under test.
-#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
 pub enum Protocol {
     /// The paper's contribution (UDP broadcast).
     Turquois,
@@ -46,7 +45,7 @@ impl Protocol {
 }
 
 /// Initial proposal pattern (§7.2).
-#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
 pub enum ProposalDistribution {
     /// Every process proposes 1.
     Unanimous,
@@ -73,7 +72,7 @@ impl ProposalDistribution {
 }
 
 /// Fault load (§7.2): which failures are injected.
-#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
 pub enum FaultLoad {
     /// All processes behave correctly.
     FailureFree,
@@ -95,7 +94,7 @@ impl FaultLoad {
 }
 
 /// Injected network-loss model (on top of MAC collisions).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum LossSpec {
     /// No injected loss.
     None,

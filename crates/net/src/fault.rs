@@ -231,7 +231,7 @@ impl FaultModel for BudgetedOmission {
             return false;
         }
         while ctx.now >= self.window_start + self.window {
-            self.window_start = self.window_start + self.window;
+            self.window_start += self.window;
             self.used = 0;
         }
         if self.used < self.budget {

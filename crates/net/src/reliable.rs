@@ -99,11 +99,7 @@ impl PeerState {
                 self.rttvar = sample / 2;
             }
             Some(srtt) => {
-                let diff = if srtt > sample {
-                    srtt - sample
-                } else {
-                    sample - srtt
-                };
+                let diff = srtt.abs_diff(sample);
                 self.rttvar = (self.rttvar * 3 + diff) / 4;
                 self.srtt = Some((srtt * 7 + sample) / 8);
             }

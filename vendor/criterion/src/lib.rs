@@ -1,0 +1,299 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the benchmark
+//! API subset this workspace uses is implemented here: [`Criterion`],
+//! benchmark groups, [`Bencher::iter`]/[`Bencher::iter_custom`]/
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`], and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Statistics are intentionally simple — each benchmark runs a short
+//! warm-up, then `sample_size` timed samples, and prints
+//! min / mean / max per iteration. That is enough for the repo's
+//! before/after comparisons; it does not attempt criterion's bootstrap
+//! analysis or HTML reports. For the table benches, which report
+//! **simulated** latency through `iter_custom`, the printed numbers are
+//! simulated milliseconds, exactly as with real criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Re-export of a compiler fence against optimizing away bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How much input `iter_batched` setup produces per batch (ignored by
+/// this stub; batches are always one input).
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Throughput annotation for a benchmark (printed alongside timings).
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Duration of one measured sample (total / iterations).
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, amortizing over an automatically chosen
+    /// iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: grow iteration count until one batch takes ≥ ~5 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times with a caller-supplied measurement: `routine` receives an
+    /// iteration count and returns the total (possibly simulated)
+    /// duration for that many iterations.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        for _ in 0..self.sample_size {
+            let iters = 1u64;
+            let total = routine(iters);
+            self.samples.push(total / iters as u32);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size: sample_size.max(1),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let tp = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                format!("  {:.1} MiB/s", n as f64 / secs / (1024.0 * 1024.0))
+            } else {
+                String::new()
+            }
+        }
+        Some(Throughput::Elements(n)) => {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                format!("  {:.0} elem/s", n as f64 / secs)
+            } else {
+                String::new()
+            }
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<50} [{} {} {}]{tp}",
+        human(min),
+        human(mean),
+        human(max)
+    );
+}
+
+/// A named set of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API
+    /// compatibility; this stub sizes work by `sample_size` only).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.effective_sample_size();
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let sample_size = self.effective_sample_size();
+        run_one(&id.to_string(), sample_size, None, f);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// Declares a benchmark group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running each listed benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_and_custom_and_batched_produce_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("iter", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_function(BenchmarkId::new("custom", 7), |b| {
+            b.iter_custom(|iters| Duration::from_micros(iters))
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 21, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter_custom(|_| Duration::from_nanos(10)));
+    }
+}
