@@ -212,12 +212,25 @@ pub fn paper_table_on(
     for &n in sizes {
         let mut cells = Vec::new();
         for _ in 0..cells_per_row {
-            let cell = aggregate(reps, samples.by_ref().take(reps)).map_err(|e| e.to_string());
-            cells.push(cell);
+            cells.push(aggregate_cell(reps, &mut samples).map_err(|e| e.to_string()));
         }
         rows.push(TableRow { n, cells });
     }
     (rows, report)
+}
+
+/// Aggregates the next cell's `reps`-sample chunk from the shared
+/// sample stream. The chunk is drained in full *before* aggregation:
+/// [`aggregate`] short-circuits on the first error, and handing it a
+/// live `take(reps)` adapter would leave the rest of a failed cell's
+/// chunk behind, silently feeding every later cell samples from the
+/// wrong scenario.
+fn aggregate_cell<I>(reps: usize, samples: &mut I) -> Result<CellResult, MeasureError>
+where
+    I: Iterator<Item = Result<RepSample, MeasureError>>,
+{
+    let chunk: Vec<_> = samples.by_ref().take(reps).collect();
+    aggregate(reps, chunk.into_iter())
 }
 
 /// Renders rows in the paper's layout.
@@ -355,6 +368,42 @@ mod tests {
             let parallel = measure_on(&scenario, 4, threads).expect("parallel succeeds");
             assert_eq!(serial, parallel, "threads={threads}");
         }
+    }
+
+    fn sample(mean_ms: f64) -> Result<RepSample, MeasureError> {
+        Ok(RepSample {
+            frames: 10,
+            collisions: 1,
+            complete: true,
+            mean_ms: Some(mean_ms),
+        })
+    }
+
+    #[test]
+    fn failed_cell_does_not_misalign_later_cells() {
+        // Cell 0 fails at its second repetition; its third sample must
+        // still be drained so cell 1 aggregates its own chunk, not a
+        // shifted window of leftovers.
+        let reps = 3;
+        let expected = aggregate(reps, [sample(5.0), sample(6.0), sample(7.0)].into_iter())
+            .expect("clean cell aggregates");
+        let stream: Vec<Result<RepSample, MeasureError>> = vec![
+            sample(1.0),
+            Err(MeasureError::SafetyViolation { rep: 1 }),
+            sample(3.0),
+            sample(5.0),
+            sample(6.0),
+            sample(7.0),
+        ];
+        let mut stream = stream.into_iter();
+        let cell0 = aggregate_cell(reps, &mut stream);
+        assert!(
+            matches!(cell0, Err(MeasureError::SafetyViolation { rep: 1 })),
+            "cell 0 reports its own failure"
+        );
+        let cell1 = aggregate_cell(reps, &mut stream).expect("cell 1 unaffected");
+        assert_eq!(cell1, expected, "cell 1 sees exactly its own samples");
+        assert!(stream.next().is_none(), "both chunks fully consumed");
     }
 
     #[test]

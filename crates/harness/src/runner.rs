@@ -199,8 +199,30 @@ fn process_cpu_time() -> Option<Duration> {
     let mut fields = rest.split_whitespace();
     let utime: u64 = fields.nth(11)?.parse().ok()?;
     let stime: u64 = fields.next()?.parse().ok()?;
-    // USER_HZ is 100 on every mainstream Linux configuration.
-    Some(Duration::from_millis((utime + stime) * 10))
+    Some(Duration::from_secs_f64((utime + stime) as f64 / clk_tck() as f64))
+}
+
+/// Kernel tick rate (`USER_HZ`) that scales `/proc/self/stat` CPU
+/// times, read from the ELF auxiliary vector (`AT_CLKTCK`). 100 is the
+/// usual value but a configuration, not a constant; if the auxv is
+/// unreadable we fall back to it — any residual error only skews the
+/// telemetry estimate, which the caller caps by summed job wall time.
+fn clk_tck() -> u64 {
+    use std::sync::OnceLock;
+    static TCK: OnceLock<u64> = OnceLock::new();
+    const AT_CLKTCK: u64 = 17;
+    *TCK.get_or_init(|| {
+        std::fs::read("/proc/self/auxv")
+            .ok()
+            .and_then(|raw| {
+                raw.chunks_exact(16).find_map(|pair| {
+                    let key = u64::from_ne_bytes(pair[..8].try_into().ok()?);
+                    let val = u64::from_ne_bytes(pair[8..].try_into().ok()?);
+                    (key == AT_CLKTCK && val > 0).then_some(val)
+                })
+            })
+            .unwrap_or(100)
+    })
 }
 
 /// One labelled fan-out for the machine-readable bench summary.
@@ -323,6 +345,12 @@ mod tests {
         assert_eq!(report.threads, 3);
         assert!(report.speedup().is_finite() && report.speedup() >= 0.0);
         assert!(report.busy <= report.elapsed.max(Duration::from_secs(1)) * 3);
+    }
+
+    #[test]
+    fn clk_tck_is_sane() {
+        let hz = clk_tck();
+        assert!((1..=100_000).contains(&hz), "USER_HZ={hz}");
     }
 
     #[test]
