@@ -500,6 +500,21 @@ impl AbbaKeys {
     }
 }
 
+/// Builds a correctly-signed round-1 pre-vote for `value` on behalf of
+/// the holder of `keys`. Round-1 pre-votes need no justification, so a
+/// Byzantine party can legitimately sign *both* values and deliver a
+/// different one to each receiver — the canonical equivocation the
+/// `turquois-check` schedule explorer injects. (For rounds > 1 the
+/// justification requirement makes this unforgeable.)
+pub fn round1_prevote(keys: &AbbaKeys, value: bool) -> AbbaMessage {
+    AbbaMessage::PreVote {
+        round: 1,
+        value,
+        share: keys.sig_key.sign_share(&pv_statement(1, value)),
+        just: PreVoteJust::Round1,
+    }
+}
+
 /// One party's ABBA engine.
 pub struct Abba {
     n: usize,

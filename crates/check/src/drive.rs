@@ -1,0 +1,864 @@
+//! Executes a [`Schedule`] against the real engines — no simulator, no
+//! airtime — and checks agreement, validity, and (budget-permitting)
+//! eventual decision.
+//!
+//! Time is a sequence of *rounds* (delivery slots). Each round the
+//! tick-driven Turquois engine broadcasts once per process and the
+//! broadcast lands two rounds later — the two-tick latency matters:
+//! with instant delivery every tick would broadcast a *new* state
+//! (phases advance once per quorum) and the engine would never emit
+//! the justified rebroadcasts that let a process stranded at a low
+//! phase re-validate high-phase messages and catch up. The
+//! message-driven baselines receive the round's deliveries and their
+//! responses land the next round. Faults from the schedule apply to
+//! messages *sent* during the adversarial window: drops, delays
+//! (reorders — the message lands after younger traffic), and
+//! duplicates. After the window the network is fault-free, which is
+//! what makes eventual decision checkable.
+//!
+//! Byzantine processes are driven through the same strategies the
+//! simulator uses (`turquois_harness::adversary`), plus the split-brain
+//! equivocator: two honest trackers with opposite proposals, each
+//! receiver shown the tracker its mask bit selects.
+
+use crate::schedule::{ByzStrategy, EngineKind, FaultKind, Schedule};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+use turquois_baselines::abba::{round1_prevote, Abba, AbbaKeys};
+use turquois_baselines::bracha::Bracha;
+use turquois_core::instance::Turquois;
+use turquois_core::message::Status;
+use turquois_core::KeyRing;
+use turquois_harness::adapters::FrameMutation;
+use turquois_harness::adversary::{abba_garbage_votes, bracha_flip_mutation, turquois_lie};
+
+/// A property violated by an execution (most severe first).
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum Violation {
+    /// Two correct processes decided different values.
+    Agreement {
+        /// First process and its decision.
+        a: (usize, bool),
+        /// Second process and its conflicting decision.
+        b: (usize, bool),
+    },
+    /// All correct processes proposed `proposal`, yet one decided
+    /// otherwise.
+    Validity {
+        /// The unanimous correct proposal.
+        proposal: bool,
+        /// The deviating process.
+        id: usize,
+    },
+    /// The schedule guaranteed progress, but some correct process never
+    /// decided.
+    Liveness {
+        /// Undecided correct processes.
+        undecided: Vec<usize>,
+        /// Engine-state snapshot of the undecided processes.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Agreement { a, b } => write!(
+                f,
+                "agreement: p{} decided {} but p{} decided {}",
+                a.0, a.1 as u8, b.0, b.1 as u8
+            ),
+            Violation::Validity { proposal, id } => write!(
+                f,
+                "validity: unanimous proposal {} but p{id} decided {}",
+                *proposal as u8,
+                !*proposal as u8
+            ),
+            Violation::Liveness { undecided, detail } => {
+                write!(f, "liveness: undecided {undecided:?} ({detail})")
+            }
+        }
+    }
+}
+
+/// The stable kind tag of a violation (used by replay expectations).
+impl Violation {
+    /// `agreement`, `validity`, or `liveness`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Agreement { .. } => "agreement",
+            Violation::Validity { .. } => "validity",
+            Violation::Liveness { .. } => "liveness",
+        }
+    }
+}
+
+/// Outcome of one schedule execution.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct RunReport {
+    /// Decision of each process (`None` for Byzantine slots and
+    /// undecided processes).
+    pub decisions: Vec<Option<bool>>,
+    /// Rounds actually executed.
+    pub rounds_used: u32,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages dropped by injected faults.
+    pub dropped: u64,
+    /// Whether the schedule stayed within the σ omission budget.
+    pub eligible: bool,
+    /// The first property violation, if any.
+    pub violation: Option<Violation>,
+}
+
+/// Routing hint for a delivery: which half of a split-brain Byzantine
+/// receiver should process it. `MaskBit` (the normal case) routes by
+/// the receiver's mask bit of the sender; `SideA`/`SideB` force a
+/// tracker and exist for the equivocator's own loopbacks, where both
+/// trackers must hear their own broadcast (a Byzantine node trivially
+/// knows everything it transmitted).
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+enum Side {
+    MaskBit,
+    SideA,
+    SideB,
+}
+
+/// One queued delivery: `(seq, from, to, side, bytes)`.
+type Delivery = (u64, usize, usize, Side, Bytes);
+
+/// In-flight messages with fault application at send time.
+struct Net {
+    queue: BTreeMap<u32, Vec<Delivery>>,
+    faults: BTreeMap<(u32, usize, usize), FaultKind>,
+    window: u32,
+    seq: u64,
+    jitter: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+/// SplitMix64 finalizer — the per-round arrival-jitter hash.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl Net {
+    fn new(s: &Schedule) -> Net {
+        let mut faults = BTreeMap::new();
+        for f in &s.faults {
+            faults.entry((f.round, f.from, f.to)).or_insert(f.kind);
+        }
+        Net {
+            queue: BTreeMap::new(),
+            faults,
+            window: s.window,
+            seq: 0,
+            jitter: mix64(s.seed ^ 0x6a09e667f3bcc908),
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, due: u32, from: usize, to: usize, side: Side, bytes: Bytes) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue
+            .entry(due)
+            .or_default()
+            .push((seq, from, to, side, bytes));
+    }
+
+    /// Sends one message emitted in `round` with natural delivery round
+    /// `base_due`, applying the schedule's fault for this edge (if the
+    /// round is inside the adversarial window).
+    fn send(&mut self, round: u32, base_due: u32, from: usize, to: usize, bytes: Bytes) {
+        self.send_side(round, base_due, from, to, Side::MaskBit, bytes);
+    }
+
+    fn send_side(
+        &mut self,
+        round: u32,
+        base_due: u32,
+        from: usize,
+        to: usize,
+        side: Side,
+        bytes: Bytes,
+    ) {
+        let kind = if round <= self.window {
+            self.faults.get(&(round, from, to)).copied()
+        } else {
+            None
+        };
+        match kind {
+            None => self.push(base_due, from, to, side, bytes),
+            Some(FaultKind::Drop) => self.dropped += 1,
+            Some(FaultKind::Delay(by)) => self.push(base_due + by, from, to, side, bytes),
+            Some(FaultKind::Duplicate) => {
+                self.push(base_due, from, to, side, bytes.clone());
+                self.push(base_due + 1, from, to, side, bytes);
+            }
+        }
+    }
+
+    /// Removes and returns every delivery due at or before `round`, in
+    /// seeded pseudo-random arrival order.
+    ///
+    /// The order is a pure function of `(schedule seed, round, send
+    /// seq)` — deterministic and thread-count-independent — but NOT
+    /// send order: with a fixed sender-id order every quorum snapshot
+    /// contains the same low-id senders, and a Byzantine process with a
+    /// low id then sits inside *every* first quorum of every phase,
+    /// livelocking the lock step indefinitely. Broadcast arrival jitter
+    /// (which the simulator gets from airtime) is what breaks that
+    /// symmetry in practice, so the driver reproduces it here. The
+    /// order is global, not per-receiver: on a broadcast medium every
+    /// receiver hears the same frame at the same instant.
+    fn take(&mut self, round: u32) -> Vec<(u64, usize, usize, Side, Bytes)> {
+        let later = self.queue.split_off(&(round + 1));
+        let mut due: Vec<(u64, usize, usize, Side, Bytes)> =
+            std::mem::replace(&mut self.queue, later)
+                .into_values()
+                .flatten()
+                .collect();
+        let jitter = self.jitter;
+        due.sort_by_key(|(seq, _, _, _, _)| (mix64(jitter ^ (u64::from(round) << 32) ^ *seq), *seq));
+        self.delivered += due.len() as u64;
+        due
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// Runs one schedule to completion and checks its properties.
+///
+/// # Panics
+///
+/// Panics on malformed schedules (e.g. `proposals.len() != n` or a
+/// Byzantine id out of range) — the generator and the replay parser
+/// both uphold these, so a panic here means a driver bug, and the
+/// explorer wants it loud.
+pub fn run_schedule(s: &Schedule) -> RunReport {
+    assert_eq!(s.proposals.len(), s.n, "proposals must cover every process");
+    assert!(s.byz.iter().all(|b| b.id < s.n), "byz id out of range");
+    match s.engine {
+        EngineKind::Turquois => run_turquois(s),
+        EngineKind::Bracha => run_bracha(s),
+        EngineKind::Abba => run_abba(s),
+    }
+}
+
+// ---- Turquois --------------------------------------------------------
+
+#[allow(clippy::large_enum_variant)] // n processes total; boxing buys nothing
+enum TProc {
+    Correct(Turquois),
+    /// The split-brain equivocator: tracker `a` serves receivers whose
+    /// mask bit is set (proposing 0), tracker `b` the rest (proposing 1).
+    Split {
+        a: Turquois,
+        b: Turquois,
+        mask: u64,
+    },
+    /// The §7.2 value-flipping liar around an honest tracker.
+    Flip { tracker: Turquois, ring: KeyRing },
+}
+
+fn run_turquois(s: &Schedule) -> RunReport {
+    let cfg = s.config();
+    let phases = (s.max_rounds + 8) as usize;
+    let rings = KeyRing::trusted_setup(s.n, phases, s.seed);
+    let mut procs: Vec<TProc> = rings
+        .into_iter()
+        .enumerate()
+        .map(|(id, ring)| {
+            let seed = s.seed.wrapping_add(31 * id as u64);
+            match s.byz.iter().find(|b| b.id == id) {
+                None => TProc::Correct(Turquois::new(cfg, id, s.proposals[id], ring, seed)),
+                Some(b) => match b.strategy {
+                    ByzStrategy::SplitBrain => TProc::Split {
+                        a: Turquois::new(cfg, id, false, ring.clone(), seed),
+                        b: Turquois::new(cfg, id, true, ring, seed ^ 0xa5a5),
+                        mask: b.mask,
+                    },
+                    ByzStrategy::Flip => TProc::Flip {
+                        tracker: Turquois::new(cfg, id, s.proposals[id], ring.clone(), seed),
+                        ring,
+                    },
+                },
+            }
+        })
+        .collect();
+
+    let mut net = Net::new(s);
+    let mut rounds_used = s.max_rounds;
+    for round in 1..=s.max_rounds {
+        // Broadcasts (task T1), in process order.
+        for (id, proc) in procs.iter_mut().enumerate() {
+            match proc {
+                TProc::Correct(p) => {
+                    let out = p.on_tick().expect("keys sized for max_rounds");
+                    for to in 0..s.n {
+                        net.send(round, round + 2, id, to, out.bytes.clone());
+                    }
+                }
+                TProc::Split { a, b, mask } => {
+                    let out_a = a.on_tick().expect("keys sized for max_rounds");
+                    let out_b = b.on_tick().expect("keys sized for max_rounds");
+                    let mask = *mask;
+                    for to in 0..s.n {
+                        if to == id {
+                            // Both trackers hear their own broadcast.
+                            net.send_side(round, round + 2, id, to, Side::SideA, out_a.bytes.clone());
+                            net.send_side(round, round + 2, id, to, Side::SideB, out_b.bytes.clone());
+                            continue;
+                        }
+                        let bytes = if mask >> to & 1 == 1 {
+                            out_a.bytes.clone()
+                        } else {
+                            out_b.bytes.clone()
+                        };
+                        net.send(round, round + 2, id, to, bytes);
+                    }
+                }
+                TProc::Flip { tracker, ring } => {
+                    if let Some(lie) = turquois_lie(tracker.phase(), tracker.value(), id, ring) {
+                        let bytes = lie.encode();
+                        for to in 0..s.n {
+                            net.send(round, round + 2, id, to, bytes.clone());
+                        }
+                    }
+                }
+            }
+        }
+        // Deliveries (task T2), in send order.
+        for (_, from, to, side, bytes) in net.take(round) {
+            match &mut procs[to] {
+                TProc::Correct(p) => {
+                    p.on_message(&bytes);
+                }
+                TProc::Split { a, b, mask } => {
+                    // Self-deliveries carry a side tag (each tracker
+                    // hears its own broadcast); everything else routes
+                    // by the receiver's mask bit of the sender, so each
+                    // tracker only ever hears its side of the brain.
+                    match side {
+                        Side::SideA => a.on_message(&bytes),
+                        Side::SideB => b.on_message(&bytes),
+                        Side::MaskBit => {
+                            if *mask >> from & 1 == 1 {
+                                a.on_message(&bytes)
+                            } else {
+                                b.on_message(&bytes)
+                            }
+                        }
+                    };
+                }
+                TProc::Flip { tracker, .. } => {
+                    tracker.on_message(&bytes);
+                }
+            }
+        }
+        if correct_turquois(&procs).all(|(_, p)| p.decision().is_some()) {
+            rounds_used = round;
+            break;
+        }
+    }
+
+    let decisions: Vec<Option<bool>> = procs
+        .iter()
+        .map(|p| match p {
+            TProc::Correct(p) => p.decision(),
+            _ => None,
+        })
+        .collect();
+    // Engine-consistency invariant: a Decided broadcast status always
+    // comes with the write-once decision set. (The converse does not
+    // hold — Rule 1 catch-up copies the sender's status, so a decided
+    // process chasing an undecided sender's higher phase legitimately
+    // reverts its *broadcast* status while keeping its decision.)
+    for (id, p) in correct_turquois(&procs) {
+        if p.status() == Status::Decided {
+            assert!(p.decision().is_some(), "p{id} has Decided status but no decision");
+        }
+    }
+    let detail = |undecided: &[usize]| {
+        undecided
+            .iter()
+            .map(|&id| {
+                let TProc::Correct(p) = &procs[id] else {
+                    unreachable!("undecided list holds correct ids")
+                };
+                let phase = p.phase();
+                format!(
+                    "p{id} phase={phase} valid@{phase}={} evid@{phase}={}",
+                    p.valid_senders_at(phase),
+                    p.evidence_senders_at(phase)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    finish(s, decisions, rounds_used, net, s.within_sigma_budget(), &[], detail)
+}
+
+fn correct_turquois(procs: &[TProc]) -> impl Iterator<Item = (usize, &Turquois)> {
+    procs.iter().enumerate().filter_map(|(id, p)| match p {
+        TProc::Correct(p) => Some((id, p)),
+        _ => None,
+    })
+}
+
+// ---- Bracha ----------------------------------------------------------
+
+enum BProc {
+    Correct(Bracha),
+    /// An honest engine whose outgoing frames pass through the §7.2
+    /// value-flip mutation for receivers whose mask bit is set:
+    /// mask = all-ones is the classic flip adversary, a partial mask is
+    /// initial-value equivocation under reliable broadcast.
+    Byz {
+        engine: Bracha,
+        mask: u64,
+        mutate: FrameMutation,
+    },
+}
+
+fn run_bracha(s: &Schedule) -> RunReport {
+    let f = (s.n - 1) / 3;
+    let mut procs: Vec<BProc> = (0..s.n)
+        .map(|id| {
+            let engine = Bracha::new(
+                s.n,
+                f,
+                id,
+                s.proposals[id],
+                s.seed.wrapping_add(31 * id as u64),
+            );
+            match s.byz.iter().find(|b| b.id == id) {
+                None => BProc::Correct(engine),
+                Some(b) => BProc::Byz {
+                    engine,
+                    mask: match b.strategy {
+                        ByzStrategy::SplitBrain => b.mask,
+                        ByzStrategy::Flip => u64::MAX,
+                    },
+                    mutate: bracha_flip_mutation(id),
+                },
+            }
+        })
+        .collect();
+
+    let mut net = Net::new(s);
+    let mut rounds_used = s.max_rounds;
+    let mut stalled = false;
+    for round in 1..=s.max_rounds {
+        if round == 1 {
+            for id in 0..s.n {
+                let send = match &mut procs[id] {
+                    BProc::Correct(e) => e.on_start().send,
+                    BProc::Byz { engine, .. } => engine.on_start().send,
+                };
+                emit_bracha(&mut procs, &mut net, round, id, send, s.n);
+            }
+        }
+        for (_, from, to, _, bytes) in net.take(round) {
+            let send = match &mut procs[to] {
+                BProc::Correct(e) => e.on_message(from, &bytes).send,
+                BProc::Byz { engine, .. } => engine.on_message(from, &bytes).send,
+            };
+            emit_bracha(&mut procs, &mut net, round, to, send, s.n);
+        }
+        if correct_bracha(&procs).all(|(_, e)| e.decision().is_some()) {
+            rounds_used = round;
+            break;
+        }
+        if net.is_empty() {
+            // Purely reactive engines on an empty network: nothing will
+            // ever change again.
+            rounds_used = round;
+            stalled = true;
+            break;
+        }
+    }
+
+    let decisions: Vec<Option<bool>> = procs
+        .iter()
+        .map(|p| match p {
+            BProc::Correct(e) => e.decision(),
+            _ => None,
+        })
+        .collect();
+    let detail = |undecided: &[usize]| {
+        let _ = stalled;
+        undecided
+            .iter()
+            .map(|&id| {
+                let BProc::Correct(e) = &procs[id] else {
+                    unreachable!("undecided list holds correct ids")
+                };
+                format!(
+                    "p{id} round={} step={} deliveries={}{}",
+                    e.round(),
+                    e.step(),
+                    e.deliveries(),
+                    if stalled { " [stalled]" } else { "" }
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    finish(s, decisions, rounds_used, net, s.within_sigma_budget(), &[], detail)
+}
+
+/// Fans one process's outgoing frames to every receiver, applying the
+/// Byzantine per-receiver mutation where the sender's mask selects it.
+fn emit_bracha(
+    procs: &mut [BProc],
+    net: &mut Net,
+    round: u32,
+    from: usize,
+    send: Vec<Bytes>,
+    n: usize,
+) {
+    for bytes in send {
+        match &mut procs[from] {
+            BProc::Correct(_) => {
+                for to in 0..n {
+                    net.send(round, round + 1, from, to, bytes.clone());
+                }
+            }
+            BProc::Byz { mask, mutate, .. } => {
+                let mask = *mask;
+                for to in 0..n {
+                    let out = if mask >> to & 1 == 1 {
+                        mutate(&bytes)
+                    } else {
+                        bytes.clone()
+                    };
+                    net.send(round, round + 1, from, to, out);
+                }
+            }
+        }
+    }
+}
+
+fn correct_bracha(procs: &[BProc]) -> impl Iterator<Item = (usize, &Bracha)> {
+    procs.iter().enumerate().filter_map(|(id, p)| match p {
+        BProc::Correct(e) => Some((id, e)),
+        _ => None,
+    })
+}
+
+// ---- ABBA ------------------------------------------------------------
+
+enum AProc {
+    Correct(Box<Abba>),
+    /// Round-1 signed equivocation (a different, correctly-signed
+    /// pre-vote per mask side), one garbage salvo, then silence.
+    Byz { keys: AbbaKeys, mask: u64 },
+}
+
+fn run_abba(s: &Schedule) -> RunReport {
+    let f = (s.n - 1) / 3;
+    let keys = AbbaKeys::trusted_setup(s.n, f, s.seed);
+    let mut procs: Vec<AProc> = keys
+        .into_iter()
+        .enumerate()
+        .map(|(id, k)| match s.byz.iter().find(|b| b.id == id) {
+            None => AProc::Correct(Box::new(Abba::new(
+                s.n,
+                f,
+                id,
+                s.proposals[id],
+                k,
+                s.seed.wrapping_add(31 * id as u64),
+            ))),
+            Some(b) => AProc::Byz {
+                keys: k,
+                mask: match b.strategy {
+                    ByzStrategy::SplitBrain => b.mask,
+                    ByzStrategy::Flip => u64::MAX,
+                },
+            },
+        })
+        .collect();
+
+    let mut net = Net::new(s);
+    let mut rounds_used = s.max_rounds;
+    let mut stalled = false;
+    for round in 1..=s.max_rounds {
+        if round == 1 {
+            for (id, proc) in procs.iter_mut().enumerate() {
+                match proc {
+                    AProc::Correct(e) => {
+                        let send = e.on_start().send;
+                        for bytes in send {
+                            for to in 0..s.n {
+                                net.send(round, round + 1, id, to, bytes.clone());
+                            }
+                        }
+                    }
+                    AProc::Byz { keys, mask } => {
+                        // Equivocate the unjustified round-1 pre-vote
+                        // along the mask, then flood one garbage salvo.
+                        let pv: [Bytes; 2] = [
+                            round1_prevote(keys, false).encode(),
+                            round1_prevote(keys, true).encode(),
+                        ];
+                        let mask = *mask;
+                        for to in 0..s.n {
+                            let bytes = pv[(mask >> to & 1) as usize].clone();
+                            net.send(round, round + 1, id, to, bytes);
+                        }
+                        for (bytes, _) in abba_garbage_votes(id, 1, 0) {
+                            for to in 0..s.n {
+                                net.send(round, round + 1, id, to, bytes.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (_, from, to, _, bytes) in net.take(round) {
+            if let AProc::Correct(e) = &mut procs[to] {
+                let send = e.on_message(from, &bytes).send;
+                for out in send {
+                    for dst in 0..s.n {
+                        net.send(round, round + 1, to, dst, out.clone());
+                    }
+                }
+            }
+        }
+        if correct_abba(&procs).all(|(_, e)| e.decision().is_some()) {
+            rounds_used = round;
+            break;
+        }
+        if net.is_empty() {
+            rounds_used = round;
+            stalled = true;
+            break;
+        }
+    }
+
+    let decisions: Vec<Option<bool>> = procs
+        .iter()
+        .map(|p| match p {
+            AProc::Correct(e) => e.decision(),
+            _ => None,
+        })
+        .collect();
+    let detail = |undecided: &[usize]| {
+        undecided
+            .iter()
+            .map(|&id| {
+                let AProc::Correct(e) = &procs[id] else {
+                    unreachable!("undecided list holds correct ids")
+                };
+                format!(
+                    "p{id} round={}{}",
+                    e.round(),
+                    if stalled { " [stalled]" } else { "" }
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    // The round-1 pre-vote values the Byzantine parties signed (the
+    // per-receiver bit of each mask), for the justified-validity check.
+    let mut injected = Vec::new();
+    for p in &procs {
+        if let AProc::Byz { mask, .. } = p {
+            for to in 0..s.n {
+                let bit = *mask >> to & 1 == 1;
+                if !injected.contains(&bit) {
+                    injected.push(bit);
+                }
+            }
+        }
+    }
+    finish(s, decisions, rounds_used, net, s.within_sigma_budget(), &injected, detail)
+}
+
+fn correct_abba(procs: &[AProc]) -> impl Iterator<Item = (usize, &Abba)> {
+    procs.iter().enumerate().filter_map(|(id, p)| match p {
+        AProc::Correct(e) => Some((id, &**e)),
+        _ => None,
+    })
+}
+
+// ---- property checks -------------------------------------------------
+
+fn finish(
+    s: &Schedule,
+    decisions: Vec<Option<bool>>,
+    rounds_used: u32,
+    net: Net,
+    eligible: bool,
+    injected: &[bool],
+    liveness_detail: impl Fn(&[usize]) -> String,
+) -> RunReport {
+    let correct: Vec<usize> = (0..s.n).filter(|&id| !s.is_byz(id)).collect();
+    let decided: Vec<(usize, bool)> = correct
+        .iter()
+        .filter_map(|&id| decisions[id].map(|d| (id, d)))
+        .collect();
+
+    // Agreement: every pair of correct decisions matches.
+    let mut violation = None;
+    if let Some(&first) = decided.first() {
+        if let Some(&other) = decided.iter().find(|&&(_, d)| d != first.1) {
+            violation = Some(Violation::Agreement { a: first, b: other });
+        }
+    }
+
+    // Validity: unanimous correct proposals force the decision — unless
+    // the adversary legitimately injected the other value into the
+    // protocol (`injected`). That out exists only for ABBA, whose
+    // round-1 pre-votes carry no justification: a Byzantine party can
+    // sign the opposite value, push every correct party to a mixed
+    // pre-vote set and thus an abstain main-vote, and let the shared
+    // coin land on the injected value. That execution is correct CKS
+    // behaviour (pre-voted values are all "justified" in round 1), so
+    // flagging it would indict the spec, not the code.
+    if violation.is_none() {
+        let props: Vec<bool> = correct.iter().map(|&id| s.proposals[id]).collect();
+        if let Some(&unanimous) = props.first() {
+            if props.iter().all(|&p| p == unanimous) && !injected.contains(&!unanimous) {
+                if let Some(&(id, _)) = decided.iter().find(|&&(_, d)| d != unanimous) {
+                    violation = Some(Violation::Validity {
+                        proposal: unanimous,
+                        id,
+                    });
+                }
+            }
+        }
+    }
+
+    // Liveness: within the omission budget every correct process must
+    // decide (Turquois); the reliable-link baselines must always decide.
+    let liveness_guaranteed = match s.engine {
+        EngineKind::Turquois => eligible,
+        EngineKind::Bracha | EngineKind::Abba => true,
+    };
+    if violation.is_none() && liveness_guaranteed {
+        let undecided: Vec<usize> = correct
+            .iter()
+            .copied()
+            .filter(|&id| decisions[id].is_none())
+            .collect();
+        if !undecided.is_empty() {
+            let detail = liveness_detail(&undecided);
+            violation = Some(Violation::Liveness { undecided, detail });
+        }
+    }
+
+    RunReport {
+        decisions,
+        rounds_used,
+        delivered: net.delivered,
+        dropped: net.dropped,
+        eligible,
+        violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{ByzSpec, Fault};
+
+    fn base(engine: EngineKind, n: usize) -> Schedule {
+        Schedule {
+            engine,
+            n,
+            seed: 42,
+            proposals: vec![true; n],
+            byz: Vec::new(),
+            window: 6,
+            max_rounds: 66,
+            faults: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn faultless_unanimous_runs_decide_cleanly() {
+        for engine in [EngineKind::Turquois, EngineKind::Bracha, EngineKind::Abba] {
+            let s = base(engine, 4);
+            let r = run_schedule(&s);
+            assert_eq!(r.violation, None, "{}: {:?}", engine.name(), r.violation);
+            assert!(r.decisions.iter().all(|d| *d == Some(true)), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn split_brain_byzantine_cannot_break_safety() {
+        for engine in [EngineKind::Turquois, EngineKind::Bracha, EngineKind::Abba] {
+            let mut s = base(engine, 4);
+            s.byz = vec![ByzSpec {
+                id: 3,
+                mask: 0b0011,
+                strategy: ByzStrategy::SplitBrain,
+            }];
+            let r = run_schedule(&s);
+            assert_eq!(r.violation, None, "{}: {:?}", engine.name(), r.violation);
+        }
+    }
+
+    #[test]
+    fn drops_inside_window_do_not_break_turquois() {
+        let mut s = base(EngineKind::Turquois, 4);
+        s.proposals = vec![true, false, true, false];
+        for round in 1..=s.window {
+            s.faults.push(Fault {
+                round,
+                from: 0,
+                to: 1,
+                kind: FaultKind::Drop,
+            });
+            s.faults.push(Fault {
+                round,
+                from: 2,
+                to: 3,
+                kind: FaultKind::Delay(2),
+            });
+        }
+        let r = run_schedule(&s);
+        assert_eq!(r.violation, None, "{:?}", r.violation);
+        assert!(r.dropped > 0);
+    }
+
+    #[test]
+    fn duplicates_are_harmless() {
+        let mut s = base(EngineKind::Bracha, 4);
+        for round in 1..=s.window {
+            for from in 0..4 {
+                s.faults.push(Fault {
+                    round,
+                    from,
+                    to: (from + 1) % 4,
+                    kind: FaultKind::Duplicate,
+                });
+            }
+        }
+        let r = run_schedule(&s);
+        assert_eq!(r.violation, None, "{:?}", r.violation);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut s = base(EngineKind::Turquois, 7);
+        s.proposals = (0..7).map(|i| i % 2 == 0).collect();
+        s.byz = vec![ByzSpec {
+            id: 6,
+            mask: 0b0101010,
+            strategy: ByzStrategy::SplitBrain,
+        }];
+        assert_eq!(run_schedule(&s), run_schedule(&s));
+    }
+}

@@ -1,0 +1,193 @@
+//! Seeded exploration: generate schedules, fan them across the harness
+//! worker pool, shrink whatever fails, and render a deterministic
+//! report.
+//!
+//! Exploration reuses `turquois_harness::runner::run_indexed` — the
+//! same deterministic fan-out that drives the experiment binaries — so
+//! per-schedule results are merged in job order and the rendered report
+//! is byte-identical at any `TURQUOIS_THREADS`. Shrinking runs serially
+//! after the merge (only failures shrink, and failures are the rare
+//! path).
+
+use crate::drive::{run_schedule, RunReport, Violation};
+use crate::replay::{to_text, Expectation};
+use crate::schedule::{generate, EngineKind, GenParams, Schedule};
+use crate::shrink::shrink;
+use std::fmt::Write as _;
+use turquois_harness::runner::run_indexed;
+
+/// Parameters for one exploration sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Engine under test.
+    pub engine: EngineKind,
+    /// Group size.
+    pub n: usize,
+    /// Number of schedules to generate and run.
+    pub schedules: usize,
+    /// Base seed; schedule `i` derives its randomness from
+    /// `(base_seed, i)`, so sweeps are reproducible and extendable.
+    pub base_seed: u64,
+}
+
+/// A violating schedule together with its shrunk counterexample.
+#[derive(Clone, Debug)]
+pub struct ViolationRecord {
+    /// Index of the generated schedule that failed.
+    pub index: usize,
+    /// The violation the original schedule produced.
+    pub violation: Violation,
+    /// The minimal schedule after shrinking (still failing).
+    pub shrunk: Schedule,
+    /// The violation the shrunk schedule produces.
+    pub shrunk_violation: Violation,
+    /// Replay fixture text for the shrunk schedule.
+    pub fixture: String,
+    /// The shrinker's step-by-step log.
+    pub trace: Vec<String>,
+    /// Schedules executed while shrinking.
+    pub shrink_attempts: usize,
+}
+
+/// Aggregate outcome of one exploration sweep.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Schedules executed.
+    pub explored: usize,
+    /// Schedules within the σ omission budget (liveness-checked).
+    pub eligible: usize,
+    /// Schedules on which every correct process decided.
+    pub decided: usize,
+    /// Failures, shrunk to minimal counterexamples.
+    pub violations: Vec<ViolationRecord>,
+    /// Deterministic rendered report (byte-identical at any thread
+    /// count).
+    pub text: String,
+}
+
+/// Runs one sweep: generate, execute in parallel, shrink failures,
+/// render.
+pub fn explore(cfg: ExploreConfig, threads: usize) -> ExploreReport {
+    let params = GenParams {
+        engine: cfg.engine,
+        n: cfg.n,
+        base_seed: cfg.base_seed,
+    };
+    let indices: Vec<usize> = (0..cfg.schedules).collect();
+    let runs: Vec<(Schedule, RunReport)> = run_indexed(threads, &indices, |_, &i| {
+        let s = generate(&params, i as u64);
+        let r = run_schedule(&s);
+        (s, r)
+    });
+
+    let explored = runs.len();
+    let eligible = runs.iter().filter(|(_, r)| r.eligible).count();
+    let decided = runs
+        .iter()
+        .filter(|(s, r)| {
+            (0..s.n).filter(|&id| !s.is_byz(id)).all(|id| r.decisions[id].is_some())
+        })
+        .count();
+
+    let mut violations = Vec::new();
+    for (i, (s, r)) in runs.iter().enumerate() {
+        let Some(v) = &r.violation else { continue };
+        // Shrink against the same violation *kind* so the minimal
+        // schedule demonstrates the original failure, not an easier one
+        // introduced along the way.
+        let kind = v.kind();
+        let result = shrink(s, |candidate| {
+            run_schedule(candidate)
+                .violation
+                .filter(|cv| cv.kind() == kind)
+        });
+        let fixture = to_text(
+            &result.schedule,
+            Expectation::Violation(kind_static(kind)),
+            &[&format!(
+                "shrunk from schedule #{i} of sweep (engine={}, n={}, base_seed={})",
+                cfg.engine.name(),
+                cfg.n,
+                cfg.base_seed
+            )],
+        );
+        violations.push(ViolationRecord {
+            index: i,
+            violation: v.clone(),
+            shrunk: result.schedule,
+            shrunk_violation: result.violation,
+            fixture,
+            trace: result.trace,
+            shrink_attempts: result.attempts,
+        });
+    }
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "schedule sweep: engine={} n={} schedules={} base_seed={}",
+        cfg.engine.name(),
+        cfg.n,
+        cfg.schedules,
+        cfg.base_seed
+    );
+    let _ = writeln!(
+        text,
+        "explored={explored} eligible={eligible} decided={decided} violations={}",
+        violations.len()
+    );
+    for v in &violations {
+        let _ = writeln!(text, "-- violation at schedule #{}: {}", v.index, v.violation);
+        let _ = writeln!(
+            text,
+            "   shrunk ({} attempts) to: {}",
+            v.shrink_attempts, v.shrunk_violation
+        );
+        for line in &v.trace {
+            let _ = writeln!(text, "   | {line}");
+        }
+        for line in v.fixture.lines() {
+            let _ = writeln!(text, "   > {line}");
+        }
+    }
+
+    ExploreReport {
+        explored,
+        eligible,
+        decided,
+        violations,
+        text,
+    }
+}
+
+/// Maps a violation kind back to the `'static` string the
+/// [`Expectation`] type carries.
+fn kind_static(kind: &str) -> &'static str {
+    match kind {
+        "agreement" => "agreement",
+        "validity" => "validity",
+        "liveness" => "liveness",
+        other => unreachable!("unknown violation kind {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_byte_identical_across_thread_counts() {
+        for engine in [EngineKind::Turquois, EngineKind::Bracha, EngineKind::Abba] {
+            let cfg = ExploreConfig {
+                engine,
+                n: 4,
+                schedules: 24,
+                base_seed: 99,
+            };
+            let serial = explore(cfg, 1);
+            let parallel = explore(cfg, 8);
+            assert_eq!(serial.text, parallel.text, "{}", engine.name());
+            assert_eq!(serial.explored, 24);
+        }
+    }
+}

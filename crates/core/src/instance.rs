@@ -216,6 +216,25 @@ impl Turquois {
         self.state.decision()
     }
 
+    /// Whether the current value was drawn from the local coin (read-only
+    /// inspection for external checkers).
+    pub fn coin_flip(&self) -> bool {
+        self.state.coin_flip()
+    }
+
+    /// Distinct senders stored in the valid set `V_i` at `phase`
+    /// (read-only inspection for external checkers such as
+    /// `turquois-check`; protocol transitions count exactly this store).
+    pub fn valid_senders_at(&self, phase: u32) -> usize {
+        self.valid.count_phase(phase)
+    }
+
+    /// Distinct senders in the authentic-evidence store at `phase`
+    /// (read-only inspection; semantic validation counts this store).
+    pub fn evidence_senders_at(&self, phase: u32) -> usize {
+        self.evidence.count_phase(phase)
+    }
+
     /// Diagnostic snapshot: `(phase, value, coin_flip, valid-store
     /// sender count at the current phase, evidence-store sender count)`.
     pub fn debug_snapshot(&self) -> (u32, Value, bool, usize, usize) {

@@ -56,25 +56,12 @@ impl ByzantineTurquoisApp {
     }
 
     fn lie(&self) -> Option<Message> {
-        let phase = self.tracker.phase();
-        let value = match PhaseKind::of(phase) {
-            PhaseKind::Converge | PhaseKind::Lock => match self.tracker.value() {
-                Value::Bot => Value::One, // tracker holds ⊥ only transiently
-                v => v.flipped(),
-            },
-            PhaseKind::Decide => Value::Bot,
-        };
-        let signature = self.keyring.sign(phase, value).ok()?;
-        Some(Message::bare(
-            turquois_core::Envelope {
-                sender: self.tracker.id(),
-                phase,
-                value,
-                coin_flip: false,
-                status: Status::Undecided,
-            },
-            signature,
-        ))
+        turquois_lie(
+            self.tracker.phase(),
+            self.tracker.value(),
+            self.tracker.id(),
+            &self.keyring,
+        )
     }
 
     fn broadcast_lie(&mut self, ctx: &mut NodeCtx<'_>) {
@@ -104,6 +91,40 @@ impl Application for ByzantineTurquoisApp {
         }
         // Never decides.
     }
+}
+
+/// Builds the paper's §7.2 Turquois lie for a process tracking phase
+/// `phase` with honest value `value`: the flipped value in CONVERGE and
+/// LOCK phases, `⊥` in DECIDE phases, signed with the liar's legitimate
+/// one-time keys. Returns `None` once the keys no longer cover `phase`.
+///
+/// Exposed as a pure function so both the simulator adversary
+/// ([`ByzantineTurquoisApp`]) and the `turquois-check` schedule explorer
+/// inject byte-identical lies.
+pub fn turquois_lie(
+    phase: u32,
+    value: Value,
+    sender: usize,
+    keyring: &KeyRing,
+) -> Option<Message> {
+    let lie_value = match PhaseKind::of(phase) {
+        PhaseKind::Converge | PhaseKind::Lock => match value {
+            Value::Bot => Value::One, // an honest tracker holds ⊥ only transiently
+            v => v.flipped(),
+        },
+        PhaseKind::Decide => Value::Bot,
+    };
+    let signature = keyring.sign(phase, lie_value).ok()?;
+    Some(Message::bare(
+        turquois_core::Envelope {
+            sender,
+            phase,
+            value: lie_value,
+            coin_flip: false,
+            status: Status::Undecided,
+        },
+        signature,
+    ))
 }
 
 /// Builds the Bracha value-flipping adversary: a [`BrachaApp`] whose
@@ -147,6 +168,47 @@ pub fn bracha_flip_mutation(me: usize) -> FrameMutation {
     })
 }
 
+/// Builds one salvo of the paper's ABBA attack messages for party `me`:
+/// a pre-vote and a main-vote for `round` that decode fine but whose
+/// shares and justifications are garbage, forcing verification work at
+/// every receiver. Returns `(encoded message, RSA-equivalent wire size)`
+/// pairs; simulator adversaries pad to the RSA size for airtime realism,
+/// while the `turquois-check` explorer (which has no airtime) sends the
+/// raw bytes.
+pub fn abba_garbage_votes(me: usize, round: u32, salvo: usize) -> Vec<(Bytes, usize)> {
+    let junk =
+        |label: &str| sha256_concat(&[label.as_bytes(), &round.to_be_bytes(), &[salvo as u8]]);
+    let share = SigShare {
+        party: me,
+        tag: junk("share"),
+    };
+    let coin_share = CoinShare {
+        party: me,
+        tag: junk("coin"),
+    };
+    let prevote = turquois_baselines::abba::AbbaMessage::PreVote {
+        round,
+        value: salvo.is_multiple_of(2),
+        share,
+        just: turquois_baselines::abba::PreVoteJust::Hard(
+            turquois_crypto::threshold::ThresholdSignature { tag: junk("sig") },
+        ),
+    };
+    let mainvote = turquois_baselines::abba::AbbaMessage::MainVote {
+        round,
+        value: turquois_baselines::abba::MainVoteValue::One,
+        share,
+        coin_share,
+        just: turquois_baselines::abba::MainVoteJust::ForValue(
+            turquois_crypto::threshold::ThresholdSignature { tag: junk("sig2") },
+        ),
+    };
+    vec![
+        (prevote.encode(), prevote.rsa_equivalent_size()),
+        (mainvote.encode(), mainvote.rsa_equivalent_size()),
+    ]
+}
+
 /// The ABBA invalid-signature adversary: floods every round it observes
 /// with RSA-sized messages whose shares and justifications are garbage,
 /// forcing correct processes to burn verification time before
@@ -172,37 +234,10 @@ impl ByzantineAbbaApp {
     }
 
     fn bogus_for_round(&self, round: u32, salvo: usize) -> Vec<Bytes> {
-        let junk =
-            |label: &str| sha256_concat(&[label.as_bytes(), &round.to_be_bytes(), &[salvo as u8]]);
-        let share = SigShare {
-            party: self.me,
-            tag: junk("share"),
-        };
-        let coin_share = CoinShare {
-            party: self.me,
-            tag: junk("coin"),
-        };
-        let prevote = turquois_baselines::abba::AbbaMessage::PreVote {
-            round,
-            value: salvo.is_multiple_of(2),
-            share,
-            just: turquois_baselines::abba::PreVoteJust::Hard(
-                turquois_crypto::threshold::ThresholdSignature { tag: junk("sig") },
-            ),
-        };
-        let mainvote = turquois_baselines::abba::AbbaMessage::MainVote {
-            round,
-            value: turquois_baselines::abba::MainVoteValue::One,
-            share,
-            coin_share,
-            just: turquois_baselines::abba::MainVoteJust::ForValue(
-                turquois_crypto::threshold::ThresholdSignature { tag: junk("sig2") },
-            ),
-        };
-        vec![
-            pad_to(&prevote.encode(), prevote.rsa_equivalent_size() + 4),
-            pad_to(&mainvote.encode(), mainvote.rsa_equivalent_size() + 4),
-        ]
+        abba_garbage_votes(self.me, round, salvo)
+            .into_iter()
+            .map(|(bytes, rsa_size)| pad_to(&bytes, rsa_size + 4))
+            .collect()
     }
 
     fn attack_round(&mut self, ctx: &mut NodeCtx<'_>, round: u32) {

@@ -203,6 +203,45 @@ fn byzantine_cannot_flip_unanimous_outcome_end_to_end() {
 }
 
 #[test]
+fn baselines_survive_byzantine_load_across_seeds() {
+    // Full-stack seed sweep for the two baselines under the §7.2
+    // Byzantine load: Bracha's flipped frames are absorbed by echo/ready
+    // amplification, ABBA's signed lies by the justification chain. For
+    // every seed the run must reach k decisions, the decided correct
+    // processes must agree, and a unanimous run must decide the
+    // unanimous value. (The Turquois counterpart is the table test
+    // above; the schedule explorer in `turquois-check` covers all three
+    // engines sans simulator.)
+    use turquois::harness::{FaultLoad, Protocol, ProposalDistribution, Scenario};
+    for protocol in [Protocol::Bracha, Protocol::Abba] {
+        for dist in [ProposalDistribution::Unanimous, ProposalDistribution::Divergent] {
+            for seed in 0..8u64 {
+                let outcome = Scenario::new(protocol, 4)
+                    .proposals(dist)
+                    .fault_load(FaultLoad::Byzantine)
+                    .seed(seed)
+                    .run_once()
+                    .expect("valid scenario");
+                let label = format!("{} {} seed {seed}", protocol.name(), dist.name());
+                assert!(outcome.k_reached(), "{label}: k not reached");
+                let decided: Vec<bool> = outcome
+                    .correct()
+                    .filter_map(|i| outcome.decisions[i].map(|d| d.value))
+                    .collect();
+                assert!(!decided.is_empty(), "{label}: no correct process decided");
+                assert!(
+                    decided.iter().all(|&d| d == decided[0]),
+                    "{label}: agreement broken: {decided:?}"
+                );
+                if matches!(dist, ProposalDistribution::Unanimous) {
+                    assert!(decided[0], "{label}: validity requires the unanimous value");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn corrupted_wire_bytes_never_panic() {
     let mut procs = make_group(4, true, 7);
     let genuine = procs[1].on_tick().expect("keys cover phase").bytes;
