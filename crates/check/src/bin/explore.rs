@@ -67,7 +67,7 @@ fn main() {
             threads,
         );
         print!("{}", report.text);
-        failed |= !report.violations.is_empty();
+        failed |= !report.violations.is_empty() || !report.panics.is_empty();
     }
     if failed {
         std::process::exit(1);

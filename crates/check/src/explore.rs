@@ -14,7 +14,7 @@ use crate::replay::{to_text, Expectation};
 use crate::schedule::{generate, EngineKind, GenParams, Schedule};
 use crate::shrink::shrink;
 use std::fmt::Write as _;
-use turquois_harness::runner::run_indexed;
+use turquois_harness::runner::{run_supervised, JobOutcome, StallReport};
 
 /// Parameters for one exploration sweep.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +49,19 @@ pub struct ViolationRecord {
     pub shrink_attempts: usize,
 }
 
+/// A schedule whose execution panicked the engine — a counterexample
+/// candidate in its own right (an engine crash on adversarial input is
+/// a bug even when no safety property gets the chance to trip).
+#[derive(Clone, Debug)]
+pub struct PanicRecord {
+    /// Index of the generated schedule that panicked.
+    pub index: usize,
+    /// The panic message.
+    pub message: String,
+    /// Replay fixture text regenerating the panicking schedule.
+    pub fixture: String,
+}
+
 /// Aggregate outcome of one exploration sweep.
 #[derive(Clone, Debug)]
 pub struct ExploreReport {
@@ -60,6 +73,9 @@ pub struct ExploreReport {
     pub decided: usize,
     /// Failures, shrunk to minimal counterexamples.
     pub violations: Vec<ViolationRecord>,
+    /// Schedules that panicked the engine, isolated by the supervised
+    /// runner so the rest of the sweep still completes.
+    pub panics: Vec<PanicRecord>,
     /// Deterministic rendered report (byte-identical at any thread
     /// count).
     pub text: String,
@@ -68,29 +84,74 @@ pub struct ExploreReport {
 /// Runs one sweep: generate, execute in parallel, shrink failures,
 /// render.
 pub fn explore(cfg: ExploreConfig, threads: usize) -> ExploreReport {
+    explore_with(cfg, threads, |_, s| run_schedule(s))
+}
+
+/// [`explore`] with an injectable per-schedule runner — the seam the
+/// panic-isolation test uses to make a chosen schedule panic.
+fn explore_with(
+    cfg: ExploreConfig,
+    threads: usize,
+    run: impl Fn(usize, &Schedule) -> RunReport + Sync,
+) -> ExploreReport {
     let params = GenParams {
         engine: cfg.engine,
         n: cfg.n,
         base_seed: cfg.base_seed,
     };
     let indices: Vec<usize> = (0..cfg.schedules).collect();
-    let runs: Vec<(Schedule, RunReport)> = run_indexed(threads, &indices, |_, &i| {
+    // Supervised fan-out: a schedule that panics the engine is isolated
+    // to its own job and recorded as a counterexample candidate instead
+    // of killing the sweep.
+    let outcomes = run_supervised(threads, &indices, |_, &i, _attempt| {
         let s = generate(&params, i as u64);
-        let r = run_schedule(&s);
-        (s, r)
+        let r = run(i, &s);
+        Ok::<_, Box<StallReport>>((s, r))
     });
 
-    let explored = runs.len();
-    let eligible = runs.iter().filter(|(_, r)| r.eligible).count();
+    let explored = outcomes.len();
+    let mut runs: Vec<(usize, Schedule, RunReport)> = Vec::new();
+    let mut panics: Vec<PanicRecord> = Vec::new();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            JobOutcome::Ok((s, r)) => runs.push((i, s, r)),
+            // Schedule execution is a bounded loop with no time budget;
+            // the job closure never reports a stall.
+            JobOutcome::Stalled(_) => unreachable!("schedule execution cannot stall"),
+            JobOutcome::Panicked(message) => {
+                let s = generate(&params, i as u64);
+                let fixture = to_text(
+                    &s,
+                    Expectation::Clean,
+                    &[
+                        &format!("schedule #{i} PANICKED during exploration: {message}"),
+                        &format!(
+                            "sweep: engine={}, n={}, base_seed={}",
+                            cfg.engine.name(),
+                            cfg.n,
+                            cfg.base_seed
+                        ),
+                    ],
+                );
+                panics.push(PanicRecord {
+                    index: i,
+                    message,
+                    fixture,
+                });
+            }
+        }
+    }
+
+    let eligible = runs.iter().filter(|(_, _, r)| r.eligible).count();
     let decided = runs
         .iter()
-        .filter(|(s, r)| {
+        .filter(|(_, s, r)| {
             (0..s.n).filter(|&id| !s.is_byz(id)).all(|id| r.decisions[id].is_some())
         })
         .count();
 
     let mut violations = Vec::new();
-    for (i, (s, r)) in runs.iter().enumerate() {
+    for (i, s, r) in runs.iter().map(|(i, s, r)| (*i, s, r)) {
         let Some(v) = &r.violation else { continue };
         // Shrink against the same violation *kind* so the minimal
         // schedule demonstrates the original failure, not an easier one
@@ -133,9 +194,16 @@ pub fn explore(cfg: ExploreConfig, threads: usize) -> ExploreReport {
     );
     let _ = writeln!(
         text,
-        "explored={explored} eligible={eligible} decided={decided} violations={}",
-        violations.len()
+        "explored={explored} eligible={eligible} decided={decided} violations={} panics={}",
+        violations.len(),
+        panics.len()
     );
+    for p in &panics {
+        let _ = writeln!(text, "-- panic at schedule #{}: {}", p.index, p.message);
+        for line in p.fixture.lines() {
+            let _ = writeln!(text, "   > {line}");
+        }
+    }
     for v in &violations {
         let _ = writeln!(text, "-- violation at schedule #{}: {}", v.index, v.violation);
         let _ = writeln!(
@@ -156,6 +224,7 @@ pub fn explore(cfg: ExploreConfig, threads: usize) -> ExploreReport {
         eligible,
         decided,
         violations,
+        panics,
         text,
     }
 }
@@ -174,6 +243,45 @@ fn kind_static(kind: &str) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn panicking_schedule_is_a_candidate_not_a_sweep_killer() {
+        let cfg = ExploreConfig {
+            engine: EngineKind::Turquois,
+            n: 4,
+            schedules: 12,
+            base_seed: 7,
+        };
+        let clean = explore(cfg, 2);
+
+        // Quiet the default panic hook while panics are intentional.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut reports = Vec::new();
+        for threads in [1, 4] {
+            reports.push(explore_with(cfg, threads, |i, s| {
+                if i == 3 {
+                    panic!("engine blew up on schedule {i}");
+                }
+                run_schedule(s)
+            }));
+        }
+        std::panic::set_hook(hook);
+
+        assert_eq!(reports[0].text, reports[1].text, "byte-identical with a panic");
+        for report in &reports {
+            assert_eq!(report.explored, 12, "sweep completes despite the panic");
+            assert_eq!(report.panics.len(), 1);
+            assert_eq!(report.panics[0].index, 3);
+            assert!(report.panics[0].message.contains("blew up"));
+            assert!(report.panics[0].fixture.contains("PANICKED"));
+            assert!(report.text.contains("panics=1"));
+            assert!(report.text.contains("-- panic at schedule #3"));
+            // Every other schedule's verdict is unaffected.
+            assert_eq!(report.violations.len(), clean.violations.len());
+            assert!(report.decided + 1 >= clean.decided);
+        }
+    }
 
     #[test]
     fn report_is_byte_identical_across_thread_counts() {

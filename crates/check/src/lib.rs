@@ -41,7 +41,7 @@ pub mod schedule;
 pub mod shrink;
 
 pub use drive::{run_schedule, RunReport, Violation};
-pub use explore::{explore, ExploreConfig, ExploreReport, ViolationRecord};
+pub use explore::{explore, ExploreConfig, ExploreReport, PanicRecord, ViolationRecord};
 pub use replay::{parse, to_text, Expectation};
 pub use schedule::{generate, EngineKind, Fault, FaultKind, GenParams, Schedule};
 pub use shrink::{shrink, ShrinkResult};

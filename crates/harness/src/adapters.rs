@@ -27,6 +27,7 @@ use wireless_net::config::overhead;
 use wireless_net::frame::ReceivedFrame;
 use wireless_net::reliable::ReliableEndpoint;
 use wireless_net::sim::{Application, NodeCtx};
+use wireless_net::supervise::AppProgress;
 
 /// Observations shared between adapters and the experiment driver
 /// (single-threaded simulator ⇒ `Rc<RefCell>`).
@@ -69,6 +70,11 @@ pub const TICK_INTERVAL: Duration = Duration::from_millis(10);
 
 // ---------------------------------------------------------------- turquois
 
+/// Construction parameters of a [`Turquois`] instance, retained so a
+/// crash/rejoin can rebuild the engine from scratch (the engines are
+/// deliberately not `Clone`).
+type TurquoisRebuild = (turquois_core::config::Config, bool, turquois_core::KeyRing, u64);
+
 /// Turquois over UDP broadcast.
 pub struct TurquoisApp {
     instance: Turquois,
@@ -77,6 +83,7 @@ pub struct TurquoisApp {
     generation: u64,
     exhausted: bool,
     probe: SharedProbe,
+    rebuild: Option<TurquoisRebuild>,
 }
 
 impl TurquoisApp {
@@ -89,7 +96,25 @@ impl TurquoisApp {
             generation: 0,
             exhausted: false,
             probe,
+            rebuild: None,
         }
+    }
+
+    /// Retains the engine's construction parameters so
+    /// [`Application::reset`] can model a process restart (crash/rejoin
+    /// scenarios). `proposal`, `ring`, and `seed` must match the ones
+    /// the wrapped instance was built with. A restarted node re-signs
+    /// early phases with the same one-time keys — safe, because the
+    /// protocol counts per distinct sender and tolerates equivocation.
+    pub fn resettable(
+        mut self,
+        cfg: turquois_core::config::Config,
+        proposal: bool,
+        ring: turquois_core::KeyRing,
+        seed: u64,
+    ) -> Self {
+        self.rebuild = Some((cfg, proposal, ring, seed));
+        self
     }
 
     /// Read access for post-run inspection.
@@ -166,6 +191,25 @@ impl Application for TurquoisApp {
             // Clock-tick condition (2): the phase value changed.
             self.broadcast_now(ctx);
         }
+    }
+
+    fn progress(&self) -> Option<AppProgress> {
+        Some(AppProgress {
+            phase: self.instance.phase(),
+            decided: self.instance.decision().is_some(),
+        })
+    }
+
+    fn reset(&mut self) {
+        let Some((cfg, proposal, ring, seed)) = self.rebuild.clone() else {
+            return; // no rebuild parameters: rejoin behaves like a partition
+        };
+        let id = self.instance.id();
+        self.instance = Turquois::new(cfg, id, proposal, ring, seed);
+        self.exhausted = false;
+        self.probe.borrow_mut().keys_exhausted[id] = false;
+        // `generation` is deliberately NOT reset: it must stay monotonic
+        // so any pre-crash timer id can never match a post-rejoin one.
     }
 }
 
@@ -310,6 +354,13 @@ impl Application for BrachaApp {
     fn on_unicast_failed(&mut self, ctx: &mut NodeCtx<'_>, dst: usize, payload: Bytes) {
         self.transport.on_unicast_failed(ctx, dst, payload);
     }
+
+    fn progress(&self) -> Option<AppProgress> {
+        Some(AppProgress {
+            phase: self.engine.round(),
+            decided: self.engine.decision().is_some(),
+        })
+    }
 }
 
 // -------------------------------------------------------------------- abba
@@ -417,6 +468,13 @@ impl Application for AbbaApp {
 
     fn on_unicast_failed(&mut self, ctx: &mut NodeCtx<'_>, dst: usize, payload: Bytes) {
         self.transport.on_unicast_failed(ctx, dst, payload);
+    }
+
+    fn progress(&self) -> Option<AppProgress> {
+        Some(AppProgress {
+            phase: self.engine.round(),
+            decided: self.engine.decision().is_some(),
+        })
     }
 }
 

@@ -91,6 +91,13 @@ impl Application for ByzantineTurquoisApp {
         }
         // Never decides.
     }
+
+    fn progress(&self) -> Option<wireless_net::supervise::AppProgress> {
+        Some(wireless_net::supervise::AppProgress {
+            phase: self.tracker.phase(),
+            decided: false, // a Byzantine node never counts as decided
+        })
+    }
 }
 
 /// Builds the paper's §7.2 Turquois lie for a process tracking phase

@@ -3,8 +3,17 @@
 //!
 //! Usage: `table2 [reps]` (default 50; `TURQUOIS_THREADS` selects the
 //! worker pool — output is byte-identical at any thread count).
+//!
+//! Runs are supervised: jobs are panic-isolated, a run that exhausts
+//! its simulated-time budget (`TURQUOIS_TIME_LIMIT`, seconds) is
+//! retried once at an escalated budget, and a cell that still fails
+//! renders `FAILED(<reason>)` while its siblings keep their exact
+//! healthy-run bytes; the process then exits nonzero.
 
-use turquois_harness::experiment::{paper_table_on, render_table, reps_from_env, sizes_from_env};
+use turquois_harness::experiment::{
+    paper_table_supervised_on, render_table, reps_from_env, sabotage_from_env,
+    sizes_from_env, table_stats_line, time_limit_from_env, DEFAULT_TIME_LIMIT,
+};
 use turquois_harness::runner::{self, BenchRecord};
 use turquois_harness::FaultLoad;
 
@@ -12,7 +21,15 @@ fn main() {
     let reps = reps_from_env(50);
     let sizes = sizes_from_env();
     let threads = runner::threads_from_env();
-    let (rows, report) = paper_table_on(FaultLoad::FailStop, &sizes, reps, threads);
+    let limit = time_limit_from_env(DEFAULT_TIME_LIMIT);
+    let (rows, health, report) = paper_table_supervised_on(
+        FaultLoad::FailStop,
+        &sizes,
+        reps,
+        threads,
+        limit,
+        sabotage_from_env(),
+    );
     println!(
         "{}",
         render_table(
@@ -20,6 +37,7 @@ fn main() {
             &rows
         )
     );
+    println!("{}", table_stats_line(&rows));
     report.log("table2");
     runner::write_bench_json(
         "table2",
@@ -28,4 +46,8 @@ fn main() {
             report,
         }],
     );
+    if !health.ok() {
+        health.log();
+        std::process::exit(1);
+    }
 }

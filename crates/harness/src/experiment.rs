@@ -9,9 +9,11 @@
 //! table byte, and error message is identical to the serial path
 //! regardless of `TURQUOIS_THREADS`.
 
-use crate::runner::{self, RunnerReport};
+use crate::runner::{self, Attempt, JobOutcome, RunnerReport};
 use crate::scenario::{FaultLoad, Protocol, ProposalDistribution, Scenario};
 use crate::stats::LatencyStats;
+use std::time::Duration;
+use wireless_net::supervise::StallReport;
 
 /// Group sizes used throughout the paper's evaluation.
 pub const PAPER_SIZES: [usize; 5] = [4, 7, 10, 13, 16];
@@ -30,6 +32,12 @@ pub struct CellResult {
     pub mean_frames: f64,
     /// Mean collisions per run.
     pub mean_collisions: f64,
+    /// Total transmit-queue tail drops across all repetitions (the
+    /// congestion sharp edge, surfaced instead of silently eaten).
+    pub total_queue_drops: u64,
+    /// Repetitions that only completed on the escalated-budget retry
+    /// (supervised tables only; always 0 on the unsupervised path).
+    pub retried_runs: usize,
 }
 
 /// Errors from measurement.
@@ -69,6 +77,8 @@ struct RepSample {
     collisions: u64,
     complete: bool,
     mean_ms: Option<f64>,
+    queue_drops: u64,
+    retried: bool,
 }
 
 /// Runs one `(scenario, rep)` job: seed, simulate, check safety.
@@ -86,7 +96,47 @@ fn run_rep(scenario: &Scenario, rep: usize) -> Result<RepSample, MeasureError> {
         collisions: outcome.stats.collisions,
         complete: outcome.k_reached(),
         mean_ms: outcome.mean_latency_ms(),
+        queue_drops: outcome.stats.queue_drops,
+        retried: false,
     })
+}
+
+/// One `(scenario, rep)` job under supervision: the simulated-time
+/// budget scales with the attempt, a stall surfaces as the outer `Err`
+/// (retryable; boxed — the report dwarfs the happy path), and a safety
+/// violation stays in the inner `Err` (completed — **never** retried or
+/// downgraded).
+fn run_rep_supervised(
+    scenario: &Scenario,
+    base_limit: Duration,
+    rep: usize,
+    attempt: Attempt,
+) -> Result<Result<RepSample, MeasureError>, Box<StallReport>> {
+    let outcome = match scenario
+        .clone()
+        .seed(scenario_rep_seed(scenario, rep))
+        .time_limit(base_limit * attempt.budget_scale)
+        .run_once()
+    {
+        Ok(o) => o,
+        Err(e) => return Ok(Err(MeasureError::Scenario(e))),
+    };
+    if !outcome.agreement_holds() || !outcome.validity_holds() {
+        return Ok(Err(MeasureError::SafetyViolation { rep }));
+    }
+    if !outcome.k_reached() {
+        if let Some(stall) = outcome.stall {
+            return Err(Box::new(stall));
+        }
+    }
+    Ok(Ok(RepSample {
+        frames: outcome.stats.frames_sent(),
+        collisions: outcome.stats.collisions,
+        complete: outcome.k_reached(),
+        mean_ms: outcome.mean_latency_ms(),
+        queue_drops: outcome.stats.queue_drops,
+        retried: attempt.index > 0,
+    }))
 }
 
 /// Folds per-rep samples **in repetition order** into a cell result,
@@ -100,10 +150,14 @@ fn aggregate(
     let mut incomplete = 0usize;
     let mut frames = 0u64;
     let mut collisions = 0u64;
+    let mut queue_drops = 0u64;
+    let mut retried = 0usize;
     for sample in samples {
         let sample = sample?;
         frames += sample.frames;
         collisions += sample.collisions;
+        queue_drops += sample.queue_drops;
+        retried += sample.retried as usize;
         if !sample.complete {
             incomplete += 1;
             continue;
@@ -120,6 +174,8 @@ fn aggregate(
         incomplete_runs: incomplete,
         mean_frames: frames as f64 / reps as f64,
         mean_collisions: collisions as f64 / reps as f64,
+        total_queue_drops: queue_drops,
+        retried_runs: retried,
     })
 }
 
@@ -219,6 +275,147 @@ pub fn paper_table_on(
     (rows, report)
 }
 
+/// One failed cell of a supervised table, with enough context to
+/// diagnose it from stderr.
+#[derive(Clone, Debug)]
+pub struct CellFailure {
+    /// Group size of the failing cell's row.
+    pub n: usize,
+    /// Cell label, e.g. `"Turquois divergent"`.
+    pub label: String,
+    /// Short machine-greppable reason: `panic`, `stalled`, `safety`, or
+    /// `config`.
+    pub reason: &'static str,
+    /// Full detail: the panic message, the rendered [`StallReport`], or
+    /// the error text.
+    pub detail: String,
+}
+
+/// Health summary of a supervised table run: which cells failed and
+/// why. An experiment binary renders the table first (completed cells
+/// stay byte-identical), then logs this to stderr and exits nonzero if
+/// anything failed.
+#[derive(Clone, Debug, Default)]
+pub struct TableHealth {
+    /// Failures in render order (row-major, cell order within a row).
+    pub failures: Vec<CellFailure>,
+}
+
+impl TableHealth {
+    /// `true` when every cell completed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Logs every failure to stderr (never stdout — the table bytes on
+    /// stdout must stay comparable across runs).
+    pub fn log(&self) {
+        for f in &self.failures {
+            eprintln!("[supervisor] {} n={} FAILED({}):", f.label, f.n, f.reason);
+            for line in f.detail.lines() {
+                eprintln!("[supervisor]   {line}");
+            }
+        }
+    }
+}
+
+/// [`paper_table_on`] with run supervision: each `(cell, rep)` job is
+/// panic-isolated, stalls are retried once with a
+/// [`runner::RETRY_BUDGET_SCALE`]× simulated-time budget, and failures
+/// degrade gracefully — the failing cell renders `FAILED(<reason>)`
+/// while every completed cell keeps the exact bytes it would have
+/// produced in a fully healthy run.
+///
+/// `sabotage` deterministically panics the given `(cell, rep)` job —
+/// the fault-injection hook the degradation tests and CI smoke use
+/// (see [`sabotage_from_env`]). Pass `None` for real runs.
+pub fn paper_table_supervised_on(
+    fault_load: FaultLoad,
+    sizes: &[usize],
+    reps: usize,
+    threads: usize,
+    time_limit: Duration,
+    sabotage: Option<(usize, usize)>,
+) -> (Vec<TableRow>, TableHealth, RunnerReport) {
+    let mut scenarios = Vec::new();
+    let mut labels = Vec::new();
+    for &n in sizes {
+        for protocol in Protocol::ALL {
+            for dist in [
+                ProposalDistribution::Unanimous,
+                ProposalDistribution::Divergent,
+            ] {
+                scenarios.push(
+                    Scenario::new(protocol, n)
+                        .proposals(dist)
+                        .fault_load(fault_load)
+                        .time_limit(time_limit),
+                );
+                labels.push((n, format!("{} {}", protocol.name(), dist.name())));
+            }
+        }
+    }
+    let jobs: Vec<(usize, usize)> = (0..scenarios.len())
+        .flat_map(|cell| (0..reps).map(move |rep| (cell, rep)))
+        .collect();
+    let (outcomes, report) = runner::run_supervised_timed(threads, &jobs, |_, &(cell, rep), attempt| {
+        if sabotage == Some((cell, rep)) {
+            panic!("sabotage: injected panic in cell {cell} rep {rep}");
+        }
+        run_rep_supervised(&scenarios[cell], time_limit, rep, attempt)
+    });
+
+    let cells_per_row = scenarios.len() / sizes.len().max(1);
+    let mut outcomes = outcomes.into_iter();
+    let mut health = TableHealth::default();
+    let mut rows = Vec::new();
+    for (row_idx, &n) in sizes.iter().enumerate() {
+        let mut cells = Vec::new();
+        for c in 0..cells_per_row {
+            let chunk: Vec<_> = outcomes.by_ref().take(reps).collect();
+            let label = &labels[row_idx * cells_per_row + c].1;
+            cells.push(aggregate_supervised_cell(reps, chunk, n, label, &mut health));
+        }
+        rows.push(TableRow { n, cells });
+    }
+    (rows, health, report)
+}
+
+/// Folds one cell's supervised outcomes. The first failing repetition
+/// (in repetition order) decides the cell's fate; a fully-completed
+/// chunk aggregates exactly like the unsupervised path.
+fn aggregate_supervised_cell(
+    reps: usize,
+    chunk: Vec<JobOutcome<Result<RepSample, MeasureError>>>,
+    n: usize,
+    label: &str,
+    health: &mut TableHealth,
+) -> Result<CellResult, String> {
+    let mut samples = Vec::with_capacity(reps);
+    for outcome in chunk {
+        let (reason, detail) = match outcome {
+            JobOutcome::Ok(Ok(sample)) => {
+                samples.push(Ok(sample));
+                continue;
+            }
+            JobOutcome::Ok(Err(e @ MeasureError::SafetyViolation { .. })) => {
+                ("safety", e.to_string())
+            }
+            JobOutcome::Ok(Err(e)) => ("config", e.to_string()),
+            JobOutcome::Stalled(report) => ("stalled", report.to_string()),
+            JobOutcome::Panicked(msg) => ("panic", msg),
+        };
+        health.failures.push(CellFailure {
+            n,
+            label: label.to_string(),
+            reason,
+            detail,
+        });
+        return Err(format!("FAILED({reason})"));
+    }
+    aggregate(reps, samples.into_iter()).map_err(|e| e.to_string())
+}
+
 /// Aggregates the next cell's `reps`-sample chunk from the shared
 /// sample stream. The chunk is drained in full *before* aggregation:
 /// [`aggregate`] short-circuits on the first error, and handing it a
@@ -231,6 +428,21 @@ where
 {
     let chunk: Vec<_> = samples.by_ref().take(reps).collect();
     aggregate(reps, chunk.into_iter())
+}
+
+/// Renders the per-experiment stats line printed under each table:
+/// total transmit-queue tail drops (the congestion sharp edge) and how
+/// many repetitions only completed on the escalated-budget retry.
+pub fn table_stats_line(rows: &[TableRow]) -> String {
+    let mut queue_drops = 0u64;
+    let mut retried = 0usize;
+    for row in rows {
+        for cell in row.cells.iter().flatten() {
+            queue_drops += cell.total_queue_drops;
+            retried += cell.retried_runs;
+        }
+    }
+    format!("stats: tx-queue drops={queue_drops} retried reps={retried}")
 }
 
 /// Renders rows in the paper's layout.
@@ -254,6 +466,9 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
         for (i, cell) in row.cells.iter().enumerate() {
             let text = match cell {
                 Ok(c) => c.latency.display(),
+                // Supervisor verdicts are already terse and fixed-form;
+                // prefixing/truncating them would hide the reason.
+                Err(e) if e.starts_with("FAILED") => e.clone(),
                 Err(e) => format!("error: {}", truncate(e, 12)),
             };
             if i % 2 == 0 {
@@ -275,6 +490,75 @@ fn truncate(s: &str, max: usize) -> String {
     match s.char_indices().nth(max) {
         None => s.to_string(),
         Some((cut, _)) => format!("{}…", &s[..cut]),
+    }
+}
+
+/// Default simulated-time budget per run, matching the
+/// [`Scenario`] builder's own default.
+pub const DEFAULT_TIME_LIMIT: Duration = Duration::from_secs(120);
+
+/// Parses a `TURQUOIS_TIME_LIMIT` value: positive (possibly
+/// fractional) simulated seconds.
+fn parse_time_limit(raw: &str) -> Option<Duration> {
+    let secs: f64 = raw.trim().parse().ok()?;
+    if secs.is_finite() && secs > 0.0 {
+        Some(Duration::from_secs_f64(secs))
+    } else {
+        None
+    }
+}
+
+/// Reads the per-run simulated-time budget from `TURQUOIS_TIME_LIMIT`
+/// (seconds, fractions allowed), defaulting to `default`. Malformed
+/// values warn on stderr and fall through, matching
+/// [`reps_from_env`] / [`sizes_from_env`].
+pub fn time_limit_from_env(default: Duration) -> Duration {
+    match std::env::var("TURQUOIS_TIME_LIMIT") {
+        Ok(raw) => match parse_time_limit(&raw) {
+            Some(limit) => limit,
+            None => {
+                eprintln!(
+                    "warning: ignoring malformed TURQUOIS_TIME_LIMIT={raw:?}: \
+                     expected a positive number of simulated seconds; using {}s",
+                    default.as_secs_f64()
+                );
+                default
+            }
+        },
+        Err(std::env::VarError::NotPresent) => default,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!(
+                "warning: ignoring non-UTF-8 TURQUOIS_TIME_LIMIT; using {}s",
+                default.as_secs_f64()
+            );
+            default
+        }
+    }
+}
+
+/// Parses a `TURQUOIS_SABOTAGE` value: `"cell,rep"` indices.
+fn parse_sabotage(raw: &str) -> Option<(usize, usize)> {
+    let (cell, rep) = raw.split_once(',')?;
+    Some((cell.trim().parse().ok()?, rep.trim().parse().ok()?))
+}
+
+/// Reads a deterministic panic-injection target from
+/// `TURQUOIS_SABOTAGE` (`"cell,rep"`). Used by CI to prove the
+/// supervisor degrades gracefully and exits nonzero; absent or
+/// malformed (with a stderr warning) means no sabotage.
+pub fn sabotage_from_env() -> Option<(usize, usize)> {
+    match std::env::var("TURQUOIS_SABOTAGE") {
+        Ok(raw) => {
+            let parsed = parse_sabotage(&raw);
+            if parsed.is_none() {
+                eprintln!(
+                    "warning: ignoring malformed TURQUOIS_SABOTAGE={raw:?}: \
+                     expected \"cell,rep\""
+                );
+            }
+            parsed
+        }
+        Err(_) => None,
     }
 }
 
@@ -376,6 +660,8 @@ mod tests {
             collisions: 1,
             complete: true,
             mean_ms: Some(mean_ms),
+            queue_drops: 0,
+            retried: false,
         })
     }
 
@@ -426,6 +712,8 @@ mod tests {
                     incomplete_runs: 0,
                     mean_frames: 100.0,
                     mean_collisions: 2.0,
+                    total_queue_drops: 0,
+                    retried_runs: 0,
                 }),
                 Err("boom".into()),
                 Ok(CellResult {
@@ -437,6 +725,8 @@ mod tests {
                     incomplete_runs: 1,
                     mean_frames: 500.0,
                     mean_collisions: 5.0,
+                    total_queue_drops: 0,
+                    retried_runs: 0,
                 }),
                 Err("x".into()),
                 Err("y".into()),
@@ -447,6 +737,108 @@ mod tests {
         assert!(rendered.contains("Table 1"));
         assert!(rendered.contains("14.90 ± 4.70"));
         assert!(rendered.contains("error: boom"));
+    }
+
+    #[test]
+    fn supervised_clean_table_matches_unsupervised() {
+        let sizes = [4];
+        let reps = 2;
+        let (plain, _) = paper_table_on(FaultLoad::FailureFree, &sizes, reps, 2);
+        let (sup, health, _) = paper_table_supervised_on(
+            FaultLoad::FailureFree,
+            &sizes,
+            reps,
+            2,
+            DEFAULT_TIME_LIMIT,
+            None,
+        );
+        assert!(health.ok(), "clean run reports no failures");
+        assert_eq!(plain.len(), sup.len());
+        for (a, b) in plain.iter().zip(&sup) {
+            assert_eq!(a.n, b.n);
+            for (i, (ca, cb)) in a.cells.iter().zip(&b.cells).enumerate() {
+                assert_eq!(
+                    ca.as_ref().ok(),
+                    cb.as_ref().ok(),
+                    "cell {i} identical under supervision"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sabotaged_cell_fails_without_touching_siblings() {
+        let sizes = [4];
+        let reps = 2;
+        let (clean, _, _) = paper_table_supervised_on(
+            FaultLoad::FailureFree,
+            &sizes,
+            reps,
+            1,
+            DEFAULT_TIME_LIMIT,
+            None,
+        );
+        for threads in [1, 4] {
+            let (rows, health, _) = paper_table_supervised_on(
+                FaultLoad::FailureFree,
+                &sizes,
+                reps,
+                threads,
+                DEFAULT_TIME_LIMIT,
+                Some((1, 0)),
+            );
+            assert_eq!(health.failures.len(), 1, "threads={threads}");
+            let failure = &health.failures[0];
+            assert_eq!(failure.reason, "panic");
+            assert_eq!(failure.n, 4);
+            assert!(failure.detail.contains("sabotage"), "{:?}", failure.detail);
+            assert_eq!(rows[0].cells[1], Err("FAILED(panic)".to_string()));
+            for (i, cell) in rows[0].cells.iter().enumerate() {
+                if i == 1 {
+                    continue;
+                }
+                assert_eq!(cell, &clean[0].cells[i], "threads={threads} cell {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_failed_cells_pass_through() {
+        let rows = vec![TableRow {
+            n: 4,
+            cells: vec![
+                Err("FAILED(stalled)".into()),
+                Err("FAILED(panic)".into()),
+                Err("plain failure".into()),
+                Err("x".into()),
+                Err("y".into()),
+                Err("z".into()),
+            ],
+        }];
+        let rendered = render_table("T", &rows);
+        assert!(rendered.contains("FAILED(stalled)"));
+        assert!(rendered.contains("FAILED(panic)"));
+        assert!(!rendered.contains("error: FAILED"), "no prefix/truncation");
+        assert!(rendered.contains("error: plain failur"));
+    }
+
+    #[test]
+    fn time_limit_parsing() {
+        assert_eq!(parse_time_limit("2.5"), Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(parse_time_limit(" 30 "), Some(Duration::from_secs(30)));
+        assert_eq!(parse_time_limit("0"), None);
+        assert_eq!(parse_time_limit("-1"), None);
+        assert_eq!(parse_time_limit("inf"), None);
+        assert_eq!(parse_time_limit("abc"), None);
+    }
+
+    #[test]
+    fn sabotage_parsing() {
+        assert_eq!(parse_sabotage("3,1"), Some((3, 1)));
+        assert_eq!(parse_sabotage(" 3 , 1 "), Some((3, 1)));
+        assert_eq!(parse_sabotage("3"), None);
+        assert_eq!(parse_sabotage("3,x"), None);
+        assert_eq!(parse_sabotage(""), None);
     }
 
     #[test]

@@ -17,10 +17,13 @@
 //! Wall-clock timing lives here — in the driver — and only here; the
 //! engines and the simulator never see a host clock.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+pub use wireless_net::StallReport;
 
 /// Environment variable selecting the worker-pool size.
 pub const THREADS_ENV: &str = "TURQUOIS_THREADS";
@@ -104,6 +107,122 @@ where
                 .expect("every job index was claimed and completed")
         })
         .collect()
+}
+
+/// How a supervised job ended. See [`run_supervised`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome<R> {
+    /// The job ran to completion. Its result may still carry a
+    /// domain-level error (e.g. a safety violation) — completion only
+    /// means the job neither stalled nor panicked.
+    Ok(R),
+    /// The job exhausted its simulated-time budget on the first attempt
+    /// *and* on the escalated retry; the report is from the retry (the
+    /// one with the larger budget).
+    Stalled(StallReport),
+    /// The job panicked; the payload is the panic message. Panics are
+    /// never retried — a panicking job (assertion failure, overflow,
+    /// protocol bug) is evidence, not noise.
+    Panicked(String),
+}
+
+impl<R> JobOutcome<R> {
+    /// `true` for [`JobOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobOutcome::Ok(_))
+    }
+
+    /// Short failure label (`"stalled"` / `"panic"`), `None` when ok.
+    pub fn failure_label(&self) -> Option<&'static str> {
+        match self {
+            JobOutcome::Ok(_) => None,
+            JobOutcome::Stalled(_) => Some("stalled"),
+            JobOutcome::Panicked(_) => Some("panic"),
+        }
+    }
+}
+
+/// Which attempt of a supervised job is running, and with what budget.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct Attempt {
+    /// 0 for the first attempt, 1 for the escalated retry.
+    pub index: usize,
+    /// Factor to scale the job's simulated-time budget by (1 on the
+    /// first attempt, [`RETRY_BUDGET_SCALE`] on the retry).
+    pub budget_scale: u32,
+}
+
+/// Budget multiplier for the single stall retry: generous enough that a
+/// merely *slow* run (an unlucky divergent tail) completes, small enough
+/// that a genuinely *stuck* run fails the whole sweep promptly.
+pub const RETRY_BUDGET_SCALE: u32 = 4;
+
+/// Runs `f` over every job with panic isolation and stall supervision,
+/// returning per-job [`JobOutcome`]s **in job order** (byte-identical
+/// merge at any thread count, like [`run_indexed`]).
+///
+/// `f` returns `Ok(result)` on completion or `Err(report)` (boxed: the
+/// report is ~10× the size of the happy path) when the run exhausted
+/// its simulated-time budget. A stalled job is deterministically
+/// retried exactly once on the same worker with
+/// [`Attempt::budget_scale`] = [`RETRY_BUDGET_SCALE`] — distinguishing
+/// slow from stuck — and reported [`JobOutcome::Stalled`] only if the
+/// retry stalls too. A panic in `f` is caught, does **not** abort the
+/// sweep's siblings, and surfaces as [`JobOutcome::Panicked`]; the caller
+/// decides how loudly to fail. Safety violations must *not* be mapped to
+/// `Err` — return them inside `R` (or panic) so they are never retried
+/// or downgraded.
+pub fn run_supervised<J, R, F>(threads: usize, jobs: &[J], f: F) -> Vec<JobOutcome<R>>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J, Attempt) -> Result<R, Box<StallReport>> + Sync,
+{
+    run_indexed(threads, jobs, |idx, job| supervise_one(idx, job, &f))
+}
+
+/// [`run_supervised`] plus wall-clock instrumentation of the fan-out.
+pub fn run_supervised_timed<J, R, F>(
+    threads: usize,
+    jobs: &[J],
+    f: F,
+) -> (Vec<JobOutcome<R>>, RunnerReport)
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J, Attempt) -> Result<R, Box<StallReport>> + Sync,
+{
+    run_indexed_timed(threads, jobs, |idx, job| supervise_one(idx, job, &f))
+}
+
+fn supervise_one<J, R, F>(idx: usize, job: &J, f: &F) -> JobOutcome<R>
+where
+    F: Fn(usize, &J, Attempt) -> Result<R, Box<StallReport>>,
+{
+    let mut stall = None;
+    for (index, budget_scale) in [(0, 1), (1, RETRY_BUDGET_SCALE)] {
+        let attempt = Attempt {
+            index,
+            budget_scale,
+        };
+        match catch_unwind(AssertUnwindSafe(|| f(idx, job, attempt))) {
+            Ok(Ok(result)) => return JobOutcome::Ok(result),
+            Ok(Err(report)) => stall = Some(report),
+            Err(payload) => return JobOutcome::Panicked(panic_message(payload)),
+        }
+    }
+    JobOutcome::Stalled(*stall.expect("loop ran at least once"))
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 /// Wall-clock accounting for one [`run_indexed_timed`] fan-out.
@@ -334,6 +453,107 @@ mod tests {
             })
         }));
         assert!(outcome.is_err(), "a panicking worker must panic the caller");
+    }
+
+    fn dummy_stall(decided: usize) -> StallReport {
+        use wireless_net::{sim::RunStatus, SimTime};
+        StallReport {
+            status: RunStatus::TimeLimit,
+            now: SimTime::from_millis(100),
+            limit: SimTime::from_millis(100),
+            decided,
+            target: Some(4),
+            last_progress: SimTime::ZERO,
+            fault: "test".into(),
+            crashes: "no crashes".into(),
+            queue_drops: 0,
+            nodes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_siblings() {
+        let jobs: Vec<usize> = (0..32).collect();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let outcomes = run_supervised(4, &jobs, |_, &j, _| {
+            if j == 17 {
+                panic!("seeded violation in job {j}");
+            }
+            Ok::<usize, Box<StallReport>>(j * 2)
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(outcomes.len(), 32);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i == 17 {
+                match outcome {
+                    JobOutcome::Panicked(msg) => {
+                        assert!(msg.contains("seeded violation"), "{msg}")
+                    }
+                    other => panic!("job 17 should have panicked, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*outcome, JobOutcome::Ok(i * 2), "sibling {i} intact");
+            }
+        }
+    }
+
+    #[test]
+    fn stalled_job_retries_once_with_escalated_budget() {
+        let jobs = [(); 3];
+        let attempts: Vec<Mutex<Vec<Attempt>>> =
+            jobs.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let outcomes = run_supervised(1, &jobs, |idx, _, attempt| {
+            attempts[idx].lock().unwrap().push(attempt);
+            match idx {
+                0 => Ok(0u32),                       // clean first try
+                1 if attempt.index == 0 => Err(Box::new(dummy_stall(1))), // slow
+                1 => Ok(1),
+                _ => Err(Box::new(dummy_stall(idx))), // genuinely stuck
+            }
+        });
+        assert_eq!(outcomes[0], JobOutcome::Ok(0));
+        assert_eq!(outcomes[1], JobOutcome::Ok(1), "retry rescued the slow job");
+        assert!(
+            matches!(&outcomes[2], JobOutcome::Stalled(r) if r.decided == 2),
+            "report comes from the escalated retry"
+        );
+        let seen: Vec<Vec<Attempt>> =
+            attempts.iter().map(|a| a.lock().unwrap().clone()).collect();
+        assert_eq!(seen[0].len(), 1, "clean job runs once");
+        assert_eq!(seen[1].len(), 2, "stalled job retried exactly once");
+        assert_eq!(seen[2].len(), 2, "no second retry for a stuck job");
+        assert_eq!(seen[1][0], Attempt { index: 0, budget_scale: 1 });
+        assert_eq!(
+            seen[1][1],
+            Attempt {
+                index: 1,
+                budget_scale: RETRY_BUDGET_SCALE
+            }
+        );
+    }
+
+    #[test]
+    fn supervised_merge_is_order_stable_across_threads() {
+        let jobs: Vec<usize> = (0..41).collect();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let run = |threads| {
+            run_supervised(threads, &jobs, |_, &j, _| {
+                if j % 13 == 5 {
+                    panic!("boom {j}");
+                }
+                if j % 7 == 3 {
+                    return Err(Box::new(dummy_stall(j)));
+                }
+                Ok(j)
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            assert_eq!(serial, run(threads), "threads={threads}");
+        }
+        std::panic::set_hook(hook);
     }
 
     #[test]

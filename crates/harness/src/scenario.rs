@@ -13,8 +13,10 @@ use turquois_core::instance::Turquois;
 use turquois_core::KeyRing;
 use turquois_crypto::cost::CostModel;
 use wireless_net::fault::{
-    BudgetedOmission, FaultModel, GilbertElliott, IidLoss, JammingWindows, NoFaults,
+    BudgetedOmission, Compose, CrashSchedule, FaultModel, GilbertElliott, IidLoss, JammingWindows,
+    NoFaults,
 };
+use wireless_net::supervise::StallReport;
 use wireless_net::sim::{Application, CrashedApp, Decision, RunStatus, SimConfig, Simulator};
 use wireless_net::stats::NetStats;
 use wireless_net::time::SimTime;
@@ -94,7 +96,7 @@ impl FaultLoad {
 }
 
 /// Injected network-loss model (on top of MAC collisions).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum LossSpec {
     /// No injected loss.
     None,
@@ -118,23 +120,36 @@ pub enum LossSpec {
         /// Window length, ms.
         window_ms: u64,
     },
+    /// Several loss models stacked: a delivery is dropped if **any**
+    /// part drops it (the fault-matrix experiment composes burst loss
+    /// with jamming this way). Parts get distinct derived seeds.
+    Composed(Vec<LossSpec>),
 }
 
 impl LossSpec {
     fn build(&self, seed: u64) -> Box<dyn FaultModel> {
-        match *self {
+        match self {
             LossSpec::None => Box::new(NoFaults),
-            LossSpec::Iid(p) => Box::new(IidLoss::new(p, seed)),
+            LossSpec::Iid(p) => Box::new(IidLoss::new(*p, seed)),
             LossSpec::Burst(p_gb, p_bg, loss_bad) => {
-                Box::new(GilbertElliott::new(p_gb, p_bg, 0.0, loss_bad, seed))
+                Box::new(GilbertElliott::new(*p_gb, *p_bg, 0.0, *loss_bad, seed))
             }
             LossSpec::Jam { start_ms, len_ms } => Box::new(JammingWindows::burst(
-                SimTime::from_millis(start_ms),
-                Duration::from_millis(len_ms),
+                SimTime::from_millis(*start_ms),
+                Duration::from_millis(*len_ms),
             )),
             LossSpec::Budget { budget, window_ms } => Box::new(
-                BudgetedOmission::new(budget, Duration::from_millis(window_ms)).broadcast_only(),
+                BudgetedOmission::new(*budget, Duration::from_millis(*window_ms)).broadcast_only(),
             ),
+            LossSpec::Composed(parts) => Box::new(Compose::new(
+                parts
+                    .iter()
+                    .enumerate()
+                    // Golden-ratio stride decorrelates the parts' RNG
+                    // streams while staying a pure function of `seed`.
+                    .map(|(i, p)| p.build(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1))))
+                    .collect(),
+            )),
         }
     }
 }
@@ -164,6 +179,7 @@ pub struct Scenario {
     proposals: ProposalDistribution,
     fault_load: FaultLoad,
     loss: LossSpec,
+    crashes: CrashSchedule,
     seed: u64,
     cost: CostModel,
     time_limit: Duration,
@@ -191,6 +207,7 @@ impl Scenario {
             proposals: ProposalDistribution::Unanimous,
             fault_load: FaultLoad::FailureFree,
             loss: Scenario::BASELINE_LOSS,
+            crashes: CrashSchedule::default(),
             seed: 0,
             cost: CostModel::pentium3_600(),
             time_limit: Duration::from_secs(120),
@@ -214,6 +231,15 @@ impl Scenario {
     /// Sets the injected loss model.
     pub fn loss(mut self, loss: LossSpec) -> Scenario {
         self.loss = loss;
+        self
+    }
+
+    /// Installs a crash/recovery schedule ([`CrashSchedule`]): fail-stop
+    /// faults at chosen simtimes or protocol phases, with optional
+    /// rejoin. Independent of [`Scenario::fault_load`] — the fault
+    /// matrix composes both.
+    pub fn crashes(mut self, crashes: CrashSchedule) -> Scenario {
+        self.crashes = crashes;
         self
     }
 
@@ -330,7 +356,10 @@ impl Scenario {
             phy: self.phy,
             ..SimConfig::default()
         };
-        let sim = Simulator::new(sim_cfg, self.loss.build(self.seed), apps);
+        let mut sim = Simulator::new(sim_cfg, self.loss.build(self.seed), apps);
+        if !self.crashes.is_empty() {
+            sim.set_crash_schedule(self.crashes.clone());
+        }
         Ok((sim, probe))
     }
 
@@ -361,10 +390,11 @@ impl Scenario {
         let proposals: Vec<bool> = (0..n).map(|i| self.proposals.proposal(i)).collect();
         let (mut sim, probe) = self.build_sim()?;
         let limit = SimTime::ZERO + self.time_limit;
-        let status = sim.run_until_k_decided(self.correct_count(), limit);
+        let (status, stall) = sim.run_until_k_decided_supervised(self.correct_count(), limit);
         let probe_snapshot = probe.borrow().clone();
 
         Ok(RunOutcome {
+            stall,
             n,
             f,
             k: cfg.k(),
@@ -390,8 +420,12 @@ impl Scenario {
         faulty: bool,
     ) -> Box<dyn Application> {
         if !faulty {
-            let inst = Turquois::new(cfg, i, proposal, ring, self.seed + 7 * i as u64);
-            Box::new(TurquoisApp::new(inst, self.cost, probe.clone()))
+            let seed = self.seed + 7 * i as u64;
+            let inst = Turquois::new(cfg, i, proposal, ring.clone(), seed);
+            Box::new(
+                TurquoisApp::new(inst, self.cost, probe.clone())
+                    .resettable(cfg, proposal, ring, seed),
+            )
         } else if self.fault_load == FaultLoad::Byzantine {
             let tracker = Turquois::new(cfg, i, proposal, ring.clone(), self.seed + 7 * i as u64);
             Box::new(ByzantineTurquoisApp::new(tracker, ring))
@@ -428,6 +462,9 @@ pub struct RunOutcome {
     pub probe: RunProbe,
     /// Simulated time when the run stopped.
     pub end: SimTime,
+    /// Stall diagnostics, present whenever the run stopped without
+    /// reaching its decision target.
+    pub stall: Option<StallReport>,
 }
 
 impl RunOutcome {

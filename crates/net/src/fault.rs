@@ -19,6 +19,12 @@
 //! * [`TargetedLoss`] — loss restricted to configured sender/receiver
 //!   sets.
 //! * [`Compose`] — OR-composition of several models.
+//! * [`CrashSchedule`] — deterministic crash (and optional rejoin) of
+//!   whole nodes. Unlike the delivery-filter models above, a crash
+//!   silences the node entirely — it stops transmitting, receiving,
+//!   and ticking — so it is installed into the simulator with
+//!   [`crate::sim::Simulator::set_crash_schedule`] rather than through
+//!   the [`FaultModel`] hook, and composes freely with any of them.
 
 use crate::frame::NodeId;
 use crate::time::SimTime;
@@ -340,6 +346,145 @@ impl FaultModel for Compose {
     }
 }
 
+/// What makes a [`CrashSpec`] fire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashTrigger {
+    /// Crash at the given simulated time.
+    At(SimTime),
+    /// Crash as soon as the node's [`crate::sim::Application`] reports
+    /// (via [`crate::sim::Application::progress`]) a phase/round `>=`
+    /// the given value — "crash mid-protocol", independent of how long
+    /// the run takes to get there. Nodes whose application exposes no
+    /// progress probe never trigger a phase crash.
+    AtPhase(u32),
+}
+
+/// One node's deterministic crash (and optional rejoin).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// The node to crash.
+    pub node: NodeId,
+    /// When the crash happens.
+    pub trigger: CrashTrigger,
+    /// If set, the node rejoins this long after the crash: its
+    /// application is reset ([`crate::sim::Application::reset`]) and
+    /// restarted via `on_start`, modelling a process restart with fresh
+    /// in-memory state. `None` means the node stays down forever.
+    pub rejoin_after: Option<Duration>,
+}
+
+/// A deterministic crash/recovery fault injector: at most one crash per
+/// node, each optionally followed by a rejoin-with-reset.
+///
+/// While a node is down the simulator suppresses every callback to it,
+/// flushes its transmit queue (a dead NIC loses its backlog), aborts
+/// any frame it had on the air, and counts suppressed deliveries in
+/// [`crate::stats::NetStats::crash_drops`]. Timers armed before the
+/// crash never fire after a rejoin (each crash bumps the node's timer
+/// epoch).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashSchedule {
+    specs: Vec<CrashSpec>,
+}
+
+impl CrashSchedule {
+    /// An empty schedule (no crashes).
+    pub fn new() -> Self {
+        CrashSchedule::default()
+    }
+
+    /// Adds a crash of `node` at simulated time `at`, never rejoining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` already has a crash scheduled.
+    pub fn crash_at(self, node: NodeId, at: SimTime) -> Self {
+        self.push(CrashSpec {
+            node,
+            trigger: CrashTrigger::At(at),
+            rejoin_after: None,
+        })
+    }
+
+    /// Adds a crash of `node` when it reaches protocol phase `phase`,
+    /// never rejoining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` already has a crash scheduled.
+    pub fn crash_at_phase(self, node: NodeId, phase: u32) -> Self {
+        self.push(CrashSpec {
+            node,
+            trigger: CrashTrigger::AtPhase(phase),
+            rejoin_after: None,
+        })
+    }
+
+    /// Makes the most recently added crash rejoin `delay` after it
+    /// fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty.
+    pub fn rejoin_after(mut self, delay: Duration) -> Self {
+        self.specs
+            .last_mut()
+            .expect("rejoin_after needs a preceding crash spec")
+            .rejoin_after = Some(delay);
+        self
+    }
+
+    /// Adds a fully-specified crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.node` already has a crash scheduled — the
+    /// one-crash-per-node rule keeps rejoin/epoch bookkeeping trivially
+    /// deterministic.
+    pub fn push(mut self, spec: CrashSpec) -> Self {
+        assert!(
+            self.specs.iter().all(|s| s.node != spec.node),
+            "node {} already has a crash scheduled",
+            spec.node
+        );
+        self.specs.push(spec);
+        self
+    }
+
+    /// The scheduled crashes.
+    pub fn specs(&self) -> &[CrashSpec] {
+        &self.specs
+    }
+
+    /// `true` when no crash is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Human-readable description, matching [`FaultModel::describe`]
+    /// conventions so experiment results can record the full fault
+    /// state.
+    pub fn describe(&self) -> String {
+        if self.specs.is_empty() {
+            return "no crashes".into();
+        }
+        self.specs
+            .iter()
+            .map(|s| {
+                let trigger = match s.trigger {
+                    CrashTrigger::At(t) => format!("crash n{} at {t}", s.node),
+                    CrashTrigger::AtPhase(p) => format!("crash n{} at phase {p}", s.node),
+                };
+                match s.rejoin_after {
+                    Some(d) => format!("{trigger} rejoin +{d:?}"),
+                    None => trigger,
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +669,38 @@ mod tests {
             broadcast: true,
         };
         assert!(!m.drops(&clean));
+    }
+
+    #[test]
+    fn crash_schedule_builders_and_describe() {
+        let sched = CrashSchedule::new()
+            .crash_at(0, SimTime::from_millis(5))
+            .crash_at_phase(2, 4)
+            .rejoin_after(Duration::from_millis(100));
+        assert_eq!(sched.specs().len(), 2);
+        assert_eq!(sched.specs()[0].rejoin_after, None);
+        assert_eq!(
+            sched.specs()[1],
+            CrashSpec {
+                node: 2,
+                trigger: CrashTrigger::AtPhase(4),
+                rejoin_after: Some(Duration::from_millis(100)),
+            }
+        );
+        let text = sched.describe();
+        assert!(text.contains("crash n0"), "{text}");
+        assert!(text.contains("phase 4"), "{text}");
+        assert!(text.contains("rejoin"), "{text}");
+        assert_eq!(CrashSchedule::new().describe(), "no crashes");
+        assert!(CrashSchedule::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a crash scheduled")]
+    fn crash_schedule_rejects_duplicate_node() {
+        let _ = CrashSchedule::new()
+            .crash_at(1, SimTime::from_millis(5))
+            .crash_at_phase(1, 3);
     }
 
     #[test]

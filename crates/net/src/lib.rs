@@ -63,10 +63,13 @@ pub mod medium;
 pub mod reliable;
 pub mod sim;
 pub mod stats;
+pub mod supervise;
 pub mod time;
 pub mod trace;
 
 pub use config::PhyConfig;
+pub use fault::{CrashSchedule, CrashSpec, CrashTrigger};
 pub use frame::{Addressing, Frame, NodeId, ReceivedFrame};
 pub use sim::{Application, Decision, NodeCtx, RunStatus, SimConfig, Simulator};
+pub use supervise::{AppProgress, NodeProgress, StallReport};
 pub use time::SimTime;

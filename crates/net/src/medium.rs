@@ -261,6 +261,18 @@ impl Medium {
         self.queues[node].len()
     }
 
+    /// Empties `node`'s transmit queue and withdraws it from contention
+    /// — a crashed NIC loses its backlog. Returns the number of frames
+    /// discarded. A frame already on the air is unaffected here; the
+    /// simulator discards it at `TxEnd` when the source is down.
+    pub fn clear_queue(&mut self, node: NodeId) -> usize {
+        self.epoch += 1;
+        self.backoffs[node] = None;
+        let dropped = self.queues[node].len();
+        self.queues[node].clear();
+        dropped
+    }
+
     fn airtime_of(&self, frame: &Frame) -> Duration {
         match frame.addressing {
             Addressing::Broadcast => self.phy.broadcast_airtime(frame.mac_payload_len()),
@@ -490,6 +502,21 @@ mod tests {
         assert_eq!(m.queue_len(0), 2);
         // Another node's queue is independent.
         assert!(m.enqueue(bc(1, 13), &mut rng));
+    }
+
+    #[test]
+    fn clear_queue_discards_backlog_and_contention() {
+        let mut m = Medium::new(2, PhyConfig::default());
+        let mut rng = ScriptRng::new(vec![0]);
+        m.enqueue(bc(0, 10), &mut rng);
+        m.enqueue(bc(0, 20), &mut rng);
+        assert_eq!(m.clear_queue(0), 2);
+        assert_eq!(m.queue_len(0), 0);
+        assert!(m.next_resolution(SimTime::ZERO).is_none(), "no contender left");
+        // An unaffected node keeps its queue.
+        m.enqueue(bc(1, 10), &mut rng);
+        assert_eq!(m.clear_queue(0), 0);
+        assert_eq!(m.queue_len(1), 1);
     }
 
     #[test]

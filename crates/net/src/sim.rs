@@ -11,10 +11,11 @@
 //! (e.g. verifying an RSA signature) receives later deliveries later,
 //! exactly the effect the paper's cost argument rests on.
 
-use crate::fault::{DeliveryCtx, FaultModel, NoFaults};
+use crate::fault::{CrashSchedule, CrashSpec, CrashTrigger, DeliveryCtx, FaultModel, NoFaults};
 use crate::frame::{Addressing, Frame, NodeId, ReceivedFrame};
 use crate::medium::Medium;
 use crate::stats::NetStats;
+use crate::supervise::{AppProgress, NodeProgress, StallReport};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
 use bytes::Bytes;
@@ -49,6 +50,23 @@ pub trait Application {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
+
+    /// Progress probe for stall diagnostics: the protocol phase/round
+    /// and whether the engine decided. Applications that implement this
+    /// show up with real numbers in [`StallReport`]s and drive the
+    /// simulator's last-global-progress clock; the default (`None`)
+    /// renders as unknown. Must be cheap — the simulator polls it after
+    /// every callback.
+    fn progress(&self) -> Option<AppProgress> {
+        None
+    }
+
+    /// Resets the application to its initial state — invoked when a
+    /// [`CrashSchedule`] rejoins the node, modelling a process restart
+    /// with fresh in-memory state (`on_start` follows immediately).
+    /// The default keeps the old state, i.e. a rejoin behaves like a
+    /// long partition rather than a restart.
+    fn reset(&mut self) {}
 }
 
 /// A no-op application: never sends, never reacts. Used for crashed
@@ -153,12 +171,16 @@ pub struct Decision {
 #[derive(Debug)]
 enum EventKind {
     Start(NodeId),
-    Timer { node: NodeId, id: u64 },
+    /// `epoch` is the node's crash epoch at arming time: timers armed
+    /// before a crash must never fire after it (or after a rejoin).
+    Timer { node: NodeId, id: u64, epoch: u64 },
     EnqueueTx(Frame),
     Deliver { node: NodeId, frame: ReceivedFrame },
     ContentionResolve { epoch: u64 },
     TxEnd,
     MacFailure { node: NodeId, dst: NodeId, payload: Bytes },
+    Crash(NodeId),
+    Rejoin(NodeId),
 }
 
 struct Event {
@@ -240,6 +262,17 @@ pub struct Simulator {
     stats: NetStats,
     trace: Trace,
     loopback_latency: Duration,
+    /// Crash/recovery state (all vectors are per-node).
+    crash_down: Vec<bool>,
+    crash_epoch: Vec<u64>,
+    /// Specs not yet fired (phase triggers wait here; time triggers are
+    /// parked here between scheduling and their `Crash` event).
+    crash_pending: Vec<Option<CrashSpec>>,
+    crash_describe: String,
+    /// Simtime of the last global progress: any node's phase advance
+    /// (per [`Application::progress`]) or any decision.
+    last_progress: SimTime,
+    last_phase: Vec<Option<u32>>,
 }
 
 impl Simulator {
@@ -268,6 +301,12 @@ impl Simulator {
             stats: NetStats::new(n),
             trace: Trace::new(cfg.trace_capacity),
             loopback_latency: Duration::from_micros(5),
+            crash_down: vec![false; n],
+            crash_epoch: vec![0; n],
+            crash_pending: vec![None; n],
+            crash_describe: "no crashes".into(),
+            last_progress: SimTime::ZERO,
+            last_phase: vec![None; n],
             apps,
             cfg,
         };
@@ -343,17 +382,32 @@ impl Simulator {
         self.time = ev.at;
         match ev.kind {
             EventKind::Start(node) => {
+                if self.crash_down[node] {
+                    // Crashed before its jittered start; a rejoin will
+                    // run `on_start`.
+                    return true;
+                }
                 self.started[node] = true;
                 self.dispatch(node, |app, ctx| app.on_start(ctx));
             }
-            EventKind::Timer { node, id } => {
-                self.dispatch_gated(node, ev.at, EventKind::Timer { node, id }, |app, ctx| {
-                    app.on_timer(ctx, id)
-                });
+            EventKind::Timer { node, id, epoch } => {
+                if epoch != self.crash_epoch[node] {
+                    // Armed before a crash: the restarted process never
+                    // sees it.
+                    return true;
+                }
+                self.dispatch_gated(
+                    node,
+                    ev.at,
+                    EventKind::Timer { node, id, epoch },
+                    |app, ctx| app.on_timer(ctx, id),
+                );
             }
             EventKind::Deliver { node, frame } => {
-                // Defer to when the node's CPU is free.
-                if self.busy_until[node] > ev.at {
+                if self.crash_down[node] {
+                    self.stats.crash_drops += 1;
+                } else if self.busy_until[node] > ev.at {
+                    // Defer to when the node's CPU is free.
                     let at = self.busy_until[node];
                     self.push(at, EventKind::Deliver { node, frame });
                 } else {
@@ -364,8 +418,13 @@ impl Simulator {
             }
             EventKind::EnqueueTx(frame) => {
                 let node = frame.src;
-                if !self.medium.enqueue(frame, &mut self.mac_rng) {
+                if self.crash_down[node] {
+                    // Effects computed before the crash committed after
+                    // it: the dead NIC sends nothing.
+                    self.stats.crash_drops += 1;
+                } else if !self.medium.enqueue(frame, &mut self.mac_rng) {
                     self.stats.queue_drops += 1;
+                    self.stats.per_node_queue_drops[node] += 1;
                     self.trace.record(self.time, TraceEvent::QueueDrop { node });
                 }
                 self.reschedule_contention();
@@ -381,9 +440,17 @@ impl Simulator {
                 self.handle_tx_end(ev.at);
             }
             EventKind::MacFailure { node, dst, payload } => {
-                self.dispatch(node, move |app, ctx| {
-                    app.on_unicast_failed(ctx, dst, payload)
-                });
+                if !self.crash_down[node] {
+                    self.dispatch(node, move |app, ctx| {
+                        app.on_unicast_failed(ctx, dst, payload)
+                    });
+                }
+            }
+            EventKind::Crash(node) => {
+                self.crash_node(node);
+            }
+            EventKind::Rejoin(node) => {
+                self.rejoin_node(node);
             }
         }
         true
@@ -413,6 +480,141 @@ impl Simulator {
     /// Runs until at least `k` nodes have decided (or limit/quiescence).
     pub fn run_until_k_decided(&mut self, k: usize, limit: SimTime) -> RunStatus {
         self.run_until(limit, |sim| sim.decided_count() >= k)
+    }
+
+    /// [`Simulator::run_until`] with stall diagnostics: when the run
+    /// stops without satisfying the predicate, the returned
+    /// [`StallReport`] captures per-node progress, queue pressure, and
+    /// fault-injector state at the moment the budget ran out.
+    pub fn run_until_supervised(
+        &mut self,
+        limit: SimTime,
+        pred: impl FnMut(&Simulator) -> bool,
+    ) -> (RunStatus, Option<StallReport>) {
+        let status = self.run_until(limit, pred);
+        let report =
+            (status != RunStatus::Satisfied).then(|| self.stall_report(limit, status, None));
+        (status, report)
+    }
+
+    /// [`Simulator::run_until_k_decided`] with stall diagnostics.
+    pub fn run_until_k_decided_supervised(
+        &mut self,
+        k: usize,
+        limit: SimTime,
+    ) -> (RunStatus, Option<StallReport>) {
+        let status = self.run_until_k_decided(k, limit);
+        let report =
+            (status != RunStatus::Satisfied).then(|| self.stall_report(limit, status, Some(k)));
+        (status, report)
+    }
+
+    /// Snapshots the diagnostic state of the run — what a supervised
+    /// run attaches to a stall. Callable at any time.
+    pub fn stall_report(
+        &self,
+        limit: SimTime,
+        status: RunStatus,
+        target: Option<usize>,
+    ) -> StallReport {
+        let nodes = (0..self.n())
+            .map(|node| NodeProgress {
+                node,
+                progress: self.apps[node].progress(),
+                decided: self.decisions[node].is_some(),
+                crashed: self.crash_down[node],
+                tx_queue_depth: self.medium.queue_len(node),
+                queue_drops: self.stats.per_node_queue_drops[node],
+                deliveries: self.stats.per_node_rx[node],
+            })
+            .collect();
+        StallReport {
+            status,
+            now: self.time,
+            limit,
+            decided: self.decided_count(),
+            target,
+            last_progress: self.last_progress,
+            fault: self.fault.describe(),
+            crashes: self.crash_describe.clone(),
+            queue_drops: self.stats.queue_drops,
+            nodes,
+        }
+    }
+
+    /// Simulated time of the last global progress: any node's phase
+    /// advance (per [`Application::progress`]) or any decision.
+    pub fn last_progress(&self) -> SimTime {
+        self.last_progress
+    }
+
+    /// Installs a crash/recovery schedule. Call before running.
+    ///
+    /// Time-triggered crashes are scheduled as events; phase-triggered
+    /// crashes fire as soon as the node's [`Application::progress`]
+    /// probe reports the phase (a node without a probe never reaches a
+    /// phase trigger). A crashing node stops transmitting, receiving,
+    /// and ticking; its transmit-queue backlog and any frame it has on
+    /// the air are lost, and effects its application computed but had
+    /// not yet committed (CPU-charge in flight) are discarded. On
+    /// rejoin the application is [`Application::reset`] and restarted
+    /// through `on_start` with a clear CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a time trigger lies in the simulated past or a node id
+    /// is out of range.
+    pub fn set_crash_schedule(&mut self, schedule: CrashSchedule) {
+        self.crash_describe = schedule.describe();
+        for spec in schedule.specs() {
+            assert!(spec.node < self.n(), "crash node {} out of range", spec.node);
+            assert!(
+                self.crash_pending[spec.node].is_none(),
+                "node {} already has a crash scheduled",
+                spec.node
+            );
+            self.crash_pending[spec.node] = Some(*spec);
+            if let CrashTrigger::At(at) = spec.trigger {
+                assert!(at >= self.time, "crash at {at} lies in the past");
+                self.push(at, EventKind::Crash(spec.node));
+            }
+        }
+    }
+
+    /// `true` while `node` is crashed.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.crash_down[node]
+    }
+
+    fn crash_node(&mut self, node: NodeId) {
+        if self.crash_down[node] {
+            return;
+        }
+        let spec = self.crash_pending[node].take();
+        self.crash_down[node] = true;
+        // Timers armed up to now must never fire again.
+        self.crash_epoch[node] += 1;
+        // The dead NIC loses its backlog; contention restarts without
+        // this node (the epoch bump staled any scheduled resolution).
+        self.medium.clear_queue(node);
+        self.reschedule_contention();
+        self.trace.record(self.time, TraceEvent::Crash { node });
+        if let Some(delay) = spec.and_then(|s| s.rejoin_after) {
+            self.push(self.time + delay, EventKind::Rejoin(node));
+        }
+    }
+
+    fn rejoin_node(&mut self, node: NodeId) {
+        debug_assert!(self.crash_down[node], "rejoin of a live node");
+        self.crash_down[node] = false;
+        // A reboot clears the CPU backlog and the restarted process
+        // starts from scratch.
+        self.busy_until[node] = self.time;
+        self.last_phase[node] = None;
+        self.apps[node].reset();
+        self.trace.record(self.time, TraceEvent::Rejoin { node });
+        self.started[node] = true;
+        self.dispatch(node, |app, ctx| app.on_start(ctx));
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind) {
@@ -463,9 +665,35 @@ impl Simulator {
         for cmd in commands {
             self.apply_command(node, done, cmd);
         }
+        self.poll_progress(node);
+    }
+
+    /// Polls the node's progress probe after a callback: advances the
+    /// last-global-progress clock on phase changes and fires any
+    /// phase-triggered crash.
+    fn poll_progress(&mut self, node: NodeId) {
+        let Some(p) = self.apps[node].progress() else {
+            return;
+        };
+        if self.last_phase[node] != Some(p.phase) {
+            self.last_phase[node] = Some(p.phase);
+            self.last_progress = self.last_progress.max(self.time);
+        }
+        if let Some(spec) = self.crash_pending[node] {
+            if let CrashTrigger::AtPhase(phase) = spec.trigger {
+                if p.phase >= phase {
+                    self.crash_node(node);
+                }
+            }
+        }
     }
 
     fn apply_command(&mut self, node: NodeId, at: SimTime, cmd: Command) {
+        if self.crash_down[node] {
+            // A crashed node's effects never commit (defensive: the
+            // event-level guards normally catch these first).
+            return;
+        }
         match cmd {
             Command::Broadcast { payload, overhead } => {
                 self.stats.broadcast_sends += 1;
@@ -522,11 +750,13 @@ impl Simulator {
                 }
             }
             Command::SetTimer { delay, id } => {
-                self.push(at + delay, EventKind::Timer { node, id });
+                let epoch = self.crash_epoch[node];
+                self.push(at + delay, EventKind::Timer { node, id, epoch });
             }
             Command::Decide { value } => {
                 if self.decisions[node].is_none() {
                     self.decisions[node] = Some(Decision { time: at, value });
+                    self.last_progress = self.last_progress.max(at);
                     self.trace.record(at, TraceEvent::Decide { node, value });
                 }
             }
@@ -558,6 +788,13 @@ impl Simulator {
         }
         let prop = self.cfg.phy.propagation;
         for tx in completed {
+            if self.crash_down[tx.node] {
+                // The transmitter died mid-frame: nothing intelligible
+                // reaches any receiver (its queue is already empty, so
+                // no `after_head_done` either).
+                self.stats.crash_drops += 1;
+                continue;
+            }
             self.stats.per_node_tx[tx.node] += 1;
             match tx.frame.addressing {
                 Addressing::Broadcast => {
@@ -984,6 +1221,176 @@ mod tests {
         let mut sim = Simulator::without_faults(SimConfig::default(), apps);
         sim.run_until(SimTime::from_millis(50), |_| false);
         assert!(sim.trace().is_empty());
+    }
+
+    /// Periodically re-broadcasts and reports phase = ticks elapsed;
+    /// exercises the progress probe, reset, and crash machinery.
+    struct PhaseTicker {
+        phase: u32,
+        resets: Shared<Vec<u32>>,
+    }
+    impl Application for PhaseTicker {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(Duration::from_millis(5), 0);
+        }
+        fn on_frame(&mut self, _ctx: &mut NodeCtx<'_>, _frame: ReceivedFrame) {}
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: u64) {
+            self.phase += 1;
+            ctx.broadcast(Bytes::from_static(b"tick"), 36);
+            ctx.set_timer(Duration::from_millis(5), 0);
+        }
+        fn progress(&self) -> Option<AppProgress> {
+            Some(AppProgress {
+                phase: self.phase,
+                decided: false,
+            })
+        }
+        fn reset(&mut self) {
+            self.resets.0.borrow_mut().push(self.phase);
+            self.phase = 0;
+        }
+    }
+
+    fn ticker_sim(n: usize) -> (Simulator, Shared<Vec<u32>>) {
+        let resets = Shared::<Vec<u32>>::new();
+        let apps: Vec<Box<dyn Application>> = (0..n)
+            .map(|_| {
+                Box::new(PhaseTicker {
+                    phase: 0,
+                    resets: resets.clone(),
+                }) as Box<dyn Application>
+            })
+            .collect();
+        let cfg = SimConfig {
+            seed: 11,
+            start_jitter: Duration::ZERO,
+            ..SimConfig::default()
+        };
+        (Simulator::without_faults(cfg, apps), resets)
+    }
+
+    #[test]
+    fn crash_silences_node_and_drops_backlog() {
+        let (mut sim, _resets) = ticker_sim(2);
+        sim.set_crash_schedule(CrashSchedule::new().crash_at(0, SimTime::from_millis(50)));
+        sim.run_until(SimTime::from_millis(200), |_| false);
+        assert!(sim.is_down(0));
+        assert!(!sim.is_down(1));
+        // The crashed node stopped ticking: far fewer transmissions than
+        // its live sibling, and suppressed effects were counted.
+        assert!(
+            sim.stats().per_node_tx[0] < sim.stats().per_node_tx[1] / 2,
+            "crashed node kept transmitting: {:?}",
+            sim.stats().per_node_tx
+        );
+        assert!(sim.stats().crash_drops > 0, "deliveries to the dead node count");
+    }
+
+    #[test]
+    fn rejoin_resets_app_and_restarts() {
+        let (mut sim, resets) = ticker_sim(2);
+        sim.set_crash_schedule(
+            CrashSchedule::new()
+                .crash_at(0, SimTime::from_millis(50))
+                .rejoin_after(Duration::from_millis(30)),
+        );
+        sim.run_until(SimTime::from_millis(200), |_| false);
+        assert!(!sim.is_down(0), "node 0 rejoined");
+        // reset() saw the pre-crash phase (~9 ticks at 5 ms), then the
+        // probe restarted from zero and advanced again.
+        let resets = resets.0.borrow();
+        assert_eq!(resets.len(), 1, "exactly one restart");
+        assert!(resets[0] >= 5, "pre-crash phase was {}", resets[0]);
+        let p = sim.app(0).progress().expect("probe available");
+        assert!(
+            (5..25).contains(&p.phase),
+            "post-rejoin phase restarted from zero, got {}",
+            p.phase
+        );
+    }
+
+    #[test]
+    fn phase_triggered_crash_fires() {
+        let (mut sim, _resets) = ticker_sim(2);
+        sim.set_crash_schedule(CrashSchedule::new().crash_at_phase(1, 3));
+        sim.run_until(SimTime::from_millis(200), |_| false);
+        assert!(sim.is_down(1));
+        let p = sim.app(1).progress().expect("probe available");
+        assert_eq!(p.phase, 3, "crashed exactly at the trigger phase");
+    }
+
+    #[test]
+    fn pre_crash_timers_never_fire_after_rejoin() {
+        // A rejoining PhaseTicker re-arms its own timer via on_start; if
+        // the pre-crash timer leaked through, ticks would double up.
+        let (mut sim, _resets) = ticker_sim(1);
+        sim.set_crash_schedule(
+            CrashSchedule::new()
+                .crash_at(0, SimTime::from_millis(52))
+                .rejoin_after(Duration::from_millis(8)),
+        );
+        sim.run_until(SimTime::from_millis(100), |_| false);
+        let p = sim.app(0).progress().expect("probe available");
+        // 60..100 ms at one tick per 5 ms = 8 ticks; doubled timers
+        // would give ~16.
+        assert_eq!(p.phase, 8, "exactly one timer chain after rejoin");
+    }
+
+    #[test]
+    fn supervised_run_reports_stall_with_progress_rows() {
+        let (mut sim, _resets) = ticker_sim(3);
+        let (status, report) =
+            sim.run_until_k_decided_supervised(3, SimTime::from_millis(40));
+        assert_ne!(status, RunStatus::Satisfied, "nobody ever decides");
+        let report = report.expect("non-satisfied run carries a report");
+        assert_eq!(report.decided, 0);
+        assert_eq!(report.target, Some(3));
+        assert_eq!(report.nodes.len(), 3);
+        for np in &report.nodes {
+            let p = np.progress.expect("PhaseTicker has a probe");
+            assert!(p.phase >= 5, "node {} stuck at phase {}", np.node, p.phase);
+            assert!(!np.crashed);
+        }
+        // Ticks kept arriving, so the progress clock is recent.
+        assert!(report.last_progress >= SimTime::from_millis(35));
+        assert!(!report.zero_progress());
+        let text = report.to_string();
+        assert!(text.contains("0/3 decided"), "{text}");
+        assert!(text.contains("no injected faults"), "{text}");
+    }
+
+    #[test]
+    fn supervised_run_satisfied_has_no_report() {
+        let apps: Vec<Box<dyn Application>> = vec![Box::new(Decider(true))];
+        let mut sim = Simulator::without_faults(SimConfig::default(), apps);
+        let (status, report) = sim.run_until_k_decided_supervised(1, SimTime::from_millis(10));
+        assert_eq!(status, RunStatus::Satisfied);
+        assert!(report.is_none());
+    }
+
+    #[test]
+    fn crash_events_show_in_trace() {
+        let resets = Shared::<Vec<u32>>::new();
+        let apps: Vec<Box<dyn Application>> = vec![Box::new(PhaseTicker {
+            phase: 0,
+            resets: resets.clone(),
+        })];
+        let cfg = SimConfig {
+            seed: 11,
+            start_jitter: Duration::ZERO,
+            trace_capacity: 512,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::without_faults(cfg, apps);
+        sim.set_crash_schedule(
+            CrashSchedule::new()
+                .crash_at(0, SimTime::from_millis(20))
+                .rejoin_after(Duration::from_millis(10)),
+        );
+        sim.run_until(SimTime::from_millis(50), |_| false);
+        let log = sim.trace().render();
+        assert!(log.contains("crash     n0"), "{log}");
+        assert!(log.contains("rejoin    n0"), "{log}");
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub struct NetStats {
     /// Frames tail-dropped because a node's transmit queue was full
     /// (channel saturation).
     pub queue_drops: u64,
+    /// Deliveries and transmissions suppressed because the target node
+    /// was crashed by a [`crate::fault::CrashSchedule`].
+    pub crash_drops: u64,
     /// Frames delivered to an application (per-receiver count).
     pub deliveries: u64,
     /// Loopback (self) deliveries, which bypass the radio.
@@ -38,6 +41,10 @@ pub struct NetStats {
     pub per_node_tx: Vec<u64>,
     /// Per-node count of application deliveries.
     pub per_node_rx: Vec<u64>,
+    /// Per-node count of transmit-queue tail drops (sums to
+    /// [`NetStats::queue_drops`]); the congestion fingerprint a
+    /// [`crate::supervise::StallReport`] points at.
+    pub per_node_queue_drops: Vec<u64>,
 }
 
 impl NetStats {
@@ -46,6 +53,7 @@ impl NetStats {
         NetStats {
             per_node_tx: vec![0; n],
             per_node_rx: vec![0; n],
+            per_node_queue_drops: vec![0; n],
             ..NetStats::default()
         }
     }
@@ -76,6 +84,7 @@ mod tests {
         let s = NetStats::new(5);
         assert_eq!(s.per_node_tx.len(), 5);
         assert_eq!(s.per_node_rx.len(), 5);
+        assert_eq!(s.per_node_queue_drops.len(), 5);
     }
 
     #[test]

@@ -63,6 +63,16 @@ pub enum TraceEvent {
         /// The decided value.
         value: bool,
     },
+    /// A [`crate::fault::CrashSchedule`] took a node down.
+    Crash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A crashed node rejoined (restarted with fresh state).
+    Rejoin {
+        /// The rejoining node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -93,6 +103,8 @@ impl fmt::Display for TraceEvent {
                 write!(f, "deliver   n{src}→n{dst} {bytes}B")
             }
             TraceEvent::Decide { node, value } => write!(f, "decide    n{node} = {}", *value as u8),
+            TraceEvent::Crash { node } => write!(f, "crash     n{node}"),
+            TraceEvent::Rejoin { node } => write!(f, "rejoin    n{node}"),
         }
     }
 }
