@@ -1,0 +1,83 @@
+//! Receive-path micro-benchmarks (host wall-clock): message validation
+//! with the verified-signature memo cache cold versus warm.
+//!
+//! * **cold** — memoization force-disabled, so every one-time-signature
+//!   check recomputes its SHA-256 chain (the pre-cache receive path).
+//! * **warm** — memoization enabled and the message already seen, so
+//!   every check is answered from the cache (the re-delivery /
+//!   rebroadcast hot case the paper's 10 ms tick makes common).
+//!
+//! Measured for a bare broadcast (one signature) and for a justified
+//! rebroadcast bundle (one signature per quorum member) at n = 10 and
+//! n = 16, the largest group of the paper's grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use turquois_core::config::Config;
+use turquois_core::instance::Turquois;
+use turquois_core::KeyRing;
+use turquois_crypto::telemetry::set_memo_enabled;
+
+const PHASES: usize = 60;
+
+/// Builds a fresh receiver plus a bare phase-1 broadcast and a justified
+/// phase-2 rebroadcast from process 0 of an `n`-process group.
+fn make_messages(n: usize) -> (Turquois, bytes::Bytes, bytes::Bytes) {
+    let cfg = Config::evaluation(n).expect("valid n");
+    let rings = KeyRing::trusted_setup(n, PHASES, 0xbe9c);
+    let receiver_ring = rings[1].clone();
+    let mut procs: Vec<Turquois> = rings
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| Turquois::new(cfg, i, true, r, 7 + i as u64))
+        .collect();
+    // First ticks are bare; delivering the group's phase-1 broadcasts
+    // advances process 0 to phase 2, whose *second* tick re-broadcasts
+    // with an explicit justification bundle.
+    let msgs: Vec<bytes::Bytes> = procs
+        .iter_mut()
+        .map(|p| p.on_tick().expect("keys cover phase").bytes)
+        .collect();
+    let bare = msgs[0].clone();
+    let p0 = &mut procs[0];
+    for m in &msgs {
+        p0.on_message(m);
+    }
+    let _ = p0.on_tick().expect("keys cover phase");
+    let justified = p0.on_tick().expect("keys cover phase").bytes;
+    let receiver = Turquois::new(cfg, 1, true, receiver_ring, 99);
+    (receiver, bare, justified)
+}
+
+fn bench_receive_path(c: &mut Criterion) {
+    for n in [10usize, 16] {
+        let (mut receiver, bare, justified) = make_messages(n);
+        let mut group = c.benchmark_group(format!("receive_path_n{n}"));
+
+        set_memo_enabled(false);
+        group.bench_function("bare_cold", |b| {
+            b.iter(|| receiver.on_message(std::hint::black_box(&bare)))
+        });
+        set_memo_enabled(true);
+        receiver.on_message(&bare); // warm the cache
+        group.bench_function("bare_warm", |b| {
+            b.iter(|| receiver.on_message(std::hint::black_box(&bare)))
+        });
+
+        set_memo_enabled(false);
+        group.bench_function("justified_cold", |b| {
+            b.iter(|| receiver.on_message(std::hint::black_box(&justified)))
+        });
+        set_memo_enabled(true);
+        receiver.on_message(&justified); // warm the cache
+        group.bench_function("justified_warm", |b| {
+            b.iter(|| receiver.on_message(std::hint::black_box(&justified)))
+        });
+
+        group.finish();
+    }
+    // Leave the process-wide switch in its default state.
+    set_memo_enabled(true);
+}
+
+criterion_group!(benches, bench_receive_path);
+criterion_main!(benches);

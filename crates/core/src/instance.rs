@@ -41,10 +41,23 @@ use crate::validation::{semantic_check, EvidenceView, RejectReason};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use turquois_crypto::memo::MemoCache;
 use turquois_crypto::otss::{OneTimeSignature, SignError, Value};
 
 /// How many phases of evidence to retain behind the current phase.
 const GC_WINDOW: u32 = 8;
+
+/// Memo-cache key for one verification: every byte
+/// [`KeyRing::verify`] reads — `(phase, sender, value, signature)` —
+/// so equal keys denote the same computation. Phase leads so GC can
+/// prune with a range predicate.
+type VerifyKey = (u32, usize, u8, [u8; 32]);
+
+/// Bound on memoized verification outcomes. Honest traffic inside the
+/// GC window needs well under `n × (GC_WINDOW + 1) × 3` entries; the
+/// headroom absorbs Byzantine signature floods, whose overflow merely
+/// evicts (and re-verifies) — never mis-answers.
+const VERIFY_CACHE_CAP: usize = 4096;
 
 /// Outcome classification for a processed incoming message.
 #[derive(Clone, Copy, Debug, Eq, PartialEq)]
@@ -146,6 +159,17 @@ pub struct Turquois {
     valid: MessageStore,
     last_broadcast: Option<Envelope>,
     decided_evidence: Vec<(Envelope, OneTimeSignature)>,
+    /// Memoized [`KeyRing::verify`] outcomes (positive *and* negative).
+    /// Pure host-time optimization: simulated CPU is still charged per
+    /// logical verification via [`Receipt::sig_verifications`].
+    verify_cache: MemoCache<VerifyKey>,
+    /// [`KeyRing::epoch_stamp`] at the last cache use; installing new
+    /// key epochs can turn a cached `false` stale, so a stamp change
+    /// clears the cache.
+    cache_stamp: u64,
+    /// Last broadcast's encoded form: a re-broadcast of an identical
+    /// message reuses the wire bytes instead of re-serializing.
+    last_wire: Option<(Message, Bytes)>,
     rng: StdRng,
 }
 
@@ -181,9 +205,28 @@ impl Turquois {
             valid: MessageStore::new(cfg.n()),
             last_broadcast: None,
             decided_evidence: Vec::new(),
+            verify_cache: MemoCache::new(VERIFY_CACHE_CAP),
+            cache_stamp: keyring.epoch_stamp(),
+            last_wire: None,
             keyring,
             rng: StdRng::seed_from_u64(seed ^ 0xc011_5eed),
         }
+    }
+
+    /// [`KeyRing::verify`] through the memo cache. Sound because the
+    /// key captures the verification's entire input and the cache is
+    /// cleared whenever the key material changes (see
+    /// [`KeyRing::epoch_stamp`]).
+    fn verify_cached(&mut self, env: &Envelope, sig: &OneTimeSignature) -> bool {
+        let stamp = self.keyring.epoch_stamp();
+        if stamp != self.cache_stamp {
+            self.verify_cache.clear();
+            self.cache_stamp = stamp;
+        }
+        let key = (env.phase, env.sender, env.value.index() as u8, sig.0);
+        let keyring = &self.keyring;
+        self.verify_cache
+            .lookup(key, || keyring.verify(env, sig))
     }
 
     /// The configuration in force.
@@ -275,10 +318,20 @@ impl Turquois {
             signature,
             justification,
         };
-        Ok(Outbound {
-            bytes: message.encode(),
-            message,
-        })
+        // Re-broadcasts of an unchanged message (same envelope, same
+        // justification) reuse the previous encoding: the clone of the
+        // shared wire buffer is a pointer bump, not a re-serialization.
+        if let Some((cached, bytes)) = &self.last_wire {
+            if *cached == message {
+                return Ok(Outbound {
+                    bytes: bytes.clone(),
+                    message,
+                });
+            }
+        }
+        let bytes = message.encode();
+        self.last_wire = Some((message.clone(), bytes.clone()));
+        Ok(Outbound { bytes, message })
     }
 
     /// Task T2: process an incoming wire message (including loopbacks of
@@ -298,9 +351,10 @@ impl Turquois {
             }
         };
 
-        // Authenticity of the outer message (one hash).
+        // Authenticity of the outer message (one logical hash — charged
+        // to simulated CPU whether or not the memo cache answers it).
         receipt.sig_verifications += 1;
-        if !self.keyring.verify(&message.envelope, &message.signature) {
+        if !self.verify_cached(&message.envelope, &message.signature) {
             receipt.outcome = MessageOutcome::AuthFailed;
             return receipt;
         }
@@ -310,7 +364,7 @@ impl Turquois {
         let mut extras: Vec<(Envelope, OneTimeSignature)> = Vec::new();
         for (env, sig) in &message.justification {
             receipt.sig_verifications += 1;
-            if self.keyring.verify(env, sig) {
+            if self.verify_cached(env, sig) {
                 extras.push((*env, *sig));
             }
         }
@@ -371,6 +425,9 @@ impl Turquois {
             let floor = self.gc_floor();
             self.evidence.prune_below(floor);
             self.valid.prune_below(floor);
+            // Memoized verifications age out with the evidence: phases
+            // below the floor can no longer be looked up.
+            self.verify_cache.retain(|key| key.0 >= floor);
         }
     }
 
@@ -780,5 +837,142 @@ mod tests {
             "decided rebroadcast rejected: {:?}",
             receipt.outcome
         );
+    }
+
+    /// Negative-cache soundness: a forged signature rejected once is
+    /// still rejected when the re-delivery is answered from the memo
+    /// cache, and the cached negative never taints the honest original.
+    #[test]
+    fn forged_signature_rejected_from_cache_on_redelivery() {
+        use turquois_crypto::telemetry::HotpathSnapshot;
+        let mut procs = make_group(4, &[true], 11);
+        let out = procs[1].on_tick().expect("keys cover phase");
+        let mut bytes = out.bytes.to_vec();
+        bytes[10] ^= 1; // corrupt the signature (offset 8..40)
+        let before = HotpathSnapshot::now();
+        assert_eq!(procs[0].on_message(&bytes).outcome, MessageOutcome::AuthFailed);
+        assert_eq!(procs[0].on_message(&bytes).outcome, MessageOutcome::AuthFailed);
+        let d = HotpathSnapshot::now().delta_since(&before);
+        assert!(d.cache_hits >= 1, "re-delivery must probe the cache");
+        assert_eq!(
+            procs[0].on_message(&out.bytes).outcome,
+            MessageOutcome::Accepted,
+            "cached negative must not taint the honest signature"
+        );
+    }
+
+    /// A Byzantine flood of distinct forged signatures fills the cache
+    /// past capacity; eviction must only ever cost a recomputation —
+    /// never flip a verdict.
+    #[test]
+    fn capacity_eviction_never_accepts_a_forgery() {
+        let mut procs = make_group(4, &[true], 12);
+        let msg = procs[1].on_tick().expect("keys cover phase").message;
+        let (env, honest_sig) = (msg.envelope, msg.signature);
+        let mut forged0 = honest_sig;
+        forged0.0[0] ^= 1;
+        assert!(!procs[0].verify_cached(&env, &forged0));
+        // Insert VERIFY_CACHE_CAP further distinct forgeries so the
+        // first negative entry is evicted (FIFO order).
+        for i in 0..VERIFY_CACHE_CAP as u32 {
+            let mut s = honest_sig;
+            s.0[4..8].copy_from_slice(&(i + 1).to_be_bytes());
+            s.0[0] ^= 1;
+            assert!(!procs[0].verify_cached(&env, &s));
+        }
+        assert!(
+            !procs[0].verify_cached(&env, &forged0),
+            "evicted forgery must be re-verified, not accepted"
+        );
+        assert!(
+            procs[0].verify_cached(&env, &honest_sig),
+            "honest signature accepted amid the flood"
+        );
+    }
+
+    /// Installing a new key epoch can flip a cached `false` stale (the
+    /// signature was fine, the keys just hadn't arrived); the epoch
+    /// stamp must clear the cache so the fresh verdict wins.
+    #[test]
+    fn epoch_install_invalidates_cached_negatives() {
+        let n = 4;
+        let cfg = Config::evaluation(n).expect("valid n");
+        let mut rings = KeyRing::trusted_setup(n, PHASES, 77);
+        let mut signer_ring = rings.remove(1); // process 1 signs
+        let p0_ring = rings.remove(0);
+        let mut p0 = Turquois::new(cfg, 0, true, p0_ring, 99);
+
+        // Process 1 extends its keys past the distributed epochs and
+        // signs a phase only the new epoch covers.
+        let mut identity = turquois_crypto::hashsig::Keypair::generate(4, 123);
+        let bundle = signer_ring
+            .begin_epoch(PHASES, 31, &mut identity)
+            .expect("fresh identity key");
+        let phase = PHASES as u32 + 1;
+        let sig = signer_ring.sign(phase, Value::One).expect("new epoch covers phase");
+        let env = Envelope {
+            sender: 1,
+            phase,
+            value: Value::One,
+            coin_flip: false,
+            status: Status::Undecided,
+        };
+        assert!(
+            !p0.verify_cached(&env, &sig),
+            "unknown epoch: rejected (and the negative is cached)"
+        );
+        p0.keyring
+            .install_epoch(&bundle, identity.public_key())
+            .expect("bundle verifies");
+        assert!(
+            p0.verify_cached(&env, &sig),
+            "epoch stamp change must clear the stale negative"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The memoizing instance is observationally identical to an
+        /// uncached [`KeyRing::verify`] oracle: for every delivery —
+        /// honest (`mask == 0`), corrupted, or an exact replay (which
+        /// the cache answers) — the instance reports `AuthFailed`
+        /// exactly when the oracle rejects the outer signature.
+        #[test]
+        fn cached_instance_matches_uncached_oracle(
+            seed in 0u64..1000,
+            ops in proptest::collection::vec(
+                (1usize..4, 0usize..32, 0u8..=255u8, 1usize..4),
+                1..40,
+            ),
+        ) {
+            let n = 4;
+            let cfg = Config::evaluation(n).expect("valid n");
+            let rings = KeyRing::trusted_setup(n, PHASES, seed);
+            let oracle = rings[0].clone();
+            let mut procs: Vec<Turquois> = rings
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| Turquois::new(cfg, i, i % 2 == 0, r, seed + i as u64))
+                .collect();
+            // One honest broadcast per peer, mutated and replayed below.
+            let honest: Vec<Bytes> = (1..n)
+                .map(|i| procs[i].on_tick().expect("keys cover phase").bytes)
+                .collect();
+            for (sender, idx, mask, copies) in ops {
+                let mut bytes = honest[sender - 1].to_vec();
+                bytes[8 + idx] ^= mask; // signature bytes (offset 8..40)
+                for _ in 0..copies {
+                    let receipt = procs[0].on_message(&bytes);
+                    let msg = Message::decode(&bytes, &cfg).expect("corruption keeps the layout");
+                    let oracle_ok = oracle.verify(&msg.envelope, &msg.signature);
+                    proptest::prop_assert_eq!(
+                        receipt.outcome == MessageOutcome::AuthFailed,
+                        !oracle_ok,
+                        "cached verdict diverged from the oracle"
+                    );
+                }
+            }
+        }
     }
 }

@@ -206,13 +206,30 @@ impl KeyRing {
 
     /// Verifies that `signature` authenticates `envelope`'s
     /// `(phase, value)` as originating from `envelope.sender`.
+    ///
+    /// Epochs are scanned newest-first: live traffic is almost always
+    /// signed under the sender's current (latest) epoch, so the common
+    /// case short-circuits on the first probe. Each epoch covers a
+    /// disjoint phase range, so scan order cannot change the outcome.
     pub fn verify(&self, envelope: &Envelope, signature: &OneTimeSignature) -> bool {
         let Some(epochs) = self.vks.get(envelope.sender) else {
             return false;
         };
         epochs
             .iter()
+            .rev()
             .any(|vk| vk.verify(envelope.phase, envelope.value, signature))
+    }
+
+    /// A monotone fingerprint of the installed verification-key
+    /// material: the total number of installed epochs across all
+    /// processes. Both [`KeyRing::begin_epoch`] and
+    /// [`KeyRing::install_epoch`] strictly increase it, so a memo cache
+    /// over [`KeyRing::verify`] outcomes is stale exactly when this
+    /// stamp changed (installing keys can flip a previous `false` to
+    /// `true`; nothing ever flips `true` to `false`).
+    pub fn epoch_stamp(&self) -> u64 {
+        self.vks.iter().map(|epochs| epochs.len() as u64).sum()
     }
 
     /// Prepares this process's next key-exchange epoch: generates keys

@@ -11,6 +11,17 @@ use crate::sha256::{Digest, Sha256, DIGEST_LEN};
 
 const BLOCK_LEN: usize = 64;
 
+/// XORs the RFC 2104 inner/outer pad constants into the key block.
+fn pads(block: &[u8; BLOCK_LEN]) -> ([u8; BLOCK_LEN], [u8; BLOCK_LEN]) {
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= block[i];
+        opad[i] ^= block[i];
+    }
+    (ipad, opad)
+}
+
 /// A symmetric key for HMAC-SHA256.
 ///
 /// # Example
@@ -26,6 +37,11 @@ const BLOCK_LEN: usize = 64;
 pub struct HmacKey {
     /// Key padded/hashed to the block length, per RFC 2104.
     block: [u8; BLOCK_LEN],
+    /// Compression state after absorbing the ipad block — the first
+    /// SHA-256 block of every inner hash this key will ever compute.
+    inner_mid: [u32; 8],
+    /// Compression state after absorbing the opad block.
+    outer_mid: [u32; 8],
 }
 
 impl std::fmt::Debug for HmacKey {
@@ -48,7 +64,20 @@ impl HmacKey {
         } else {
             block[..material.len()].copy_from_slice(material);
         }
-        HmacKey { block }
+        let (ipad, opad) = pads(&block);
+        // Cache the pad-block compression states once per key: every
+        // inner hash starts with the ipad block and every outer hash
+        // with the opad block, so `mac_parts` can resume from these
+        // midstates instead of re-compressing both pads on every tag.
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacKey {
+            block,
+            inner_mid: inner.midstate(),
+            outer_mid: outer.midstate(),
+        }
     }
 
     /// Computes the HMAC tag over `message`.
@@ -58,13 +87,36 @@ impl HmacKey {
 
     /// Computes the HMAC tag over the concatenation of `parts` without
     /// allocating.
+    ///
+    /// Resumes from the per-key cached pad midstates when verification
+    /// memoization is enabled (saving the two pad compressions per tag),
+    /// and recomputes both pads from scratch when it is disabled — the
+    /// two paths are bit-identical.
     pub fn mac_parts(&self, parts: &[&[u8]]) -> Digest {
-        let mut ipad = [0x36u8; BLOCK_LEN];
-        let mut opad = [0x5cu8; BLOCK_LEN];
-        for i in 0..BLOCK_LEN {
-            ipad[i] ^= self.block[i];
-            opad[i] ^= self.block[i];
+        if crate::telemetry::memo_enabled() {
+            self.mac_parts_resumed(parts)
+        } else {
+            self.mac_parts_scratch(parts)
         }
+    }
+
+    /// Fast path: both pad blocks come from the midstates cached at key
+    /// construction, so only the message itself is compressed.
+    fn mac_parts_resumed(&self, parts: &[&[u8]]) -> Digest {
+        let mut inner = Sha256::from_midstate(self.inner_mid, BLOCK_LEN as u64);
+        for p in parts {
+            inner.update(p);
+        }
+        let inner_digest = inner.finalize();
+        let mut outer = Sha256::from_midstate(self.outer_mid, BLOCK_LEN as u64);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+
+    /// Reference path: the textbook RFC 2104 computation, re-absorbing
+    /// the ipad and opad blocks on every call.
+    fn mac_parts_scratch(&self, parts: &[&[u8]]) -> Digest {
+        let (ipad, opad) = pads(&self.block);
         let mut inner = Sha256::new();
         inner.update(&ipad);
         for p in parts {
@@ -180,6 +232,39 @@ mod tests {
         assert!(!key.verify_truncated(b"msg", &bad));
         assert!(!key.verify_truncated(b"msg", &[]));
         assert!(!key.verify_truncated(b"msg", &[0u8; 33]));
+    }
+
+    /// The midstate-resumed fast path and the scratch reference path
+    /// must be bit-identical for every key/message shape, including
+    /// messages that straddle block boundaries and long-key hashing.
+    #[test]
+    fn resumed_matches_scratch() {
+        let keys = [
+            HmacKey::from_bytes(b""),
+            HmacKey::from_bytes(b"Jefe"),
+            HmacKey::from_bytes(&[0xaa; 64]),
+            HmacKey::from_bytes(&[0xaa; 131]),
+        ];
+        let messages: Vec<Vec<u8>> = [0usize, 1, 55, 56, 63, 64, 65, 200]
+            .iter()
+            .map(|&len| (0..len).map(|i| i as u8).collect())
+            .collect();
+        for key in &keys {
+            for m in &messages {
+                assert_eq!(
+                    key.mac_parts_resumed(&[m]),
+                    key.mac_parts_scratch(&[m]),
+                    "paths diverged for message length {}",
+                    m.len()
+                );
+                // Split delivery must not matter on either path.
+                let mid = m.len() / 2;
+                assert_eq!(
+                    key.mac_parts_resumed(&[&m[..mid], &m[mid..]]),
+                    key.mac_parts_scratch(&[m])
+                );
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!   can charge realistic time for cryptographic work (RSA on a 600 MHz
 //!   Pentium III is *slow*; that asymmetry is a pillar of the paper's
 //!   evaluation).
+//! * [`memo`] — a bounded, deterministic memo cache so re-delivered
+//!   signatures cost a map probe instead of a SHA-256 chain in *host*
+//!   time (simulated cost is still charged per logical verification).
+//! * [`telemetry`] — thread-local counters for real SHA-256 blocks,
+//!   verify calls, and cache hits/misses, plus the memo on/off switch.
 //!
 //! # Example
 //!
@@ -47,8 +52,10 @@
 pub mod cost;
 pub mod hashsig;
 pub mod hmac;
+pub mod memo;
 pub mod otss;
 pub mod sha256;
+pub mod telemetry;
 pub mod threshold;
 
 pub use cost::CostModel;

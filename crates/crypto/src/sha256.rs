@@ -169,6 +169,31 @@ impl Sha256 {
         }
     }
 
+    /// Resumes hashing from a previously captured midstate.
+    ///
+    /// `state` must be the compression state after absorbing exactly
+    /// `len` bytes, where `len` is a multiple of the 64-byte block
+    /// size. Used by HMAC to cache the per-key ipad/opad block; the
+    /// resumed hasher produces digests bit-identical to one that
+    /// absorbed those bytes itself.
+    pub fn from_midstate(state: [u32; 8], len: u64) -> Self {
+        debug_assert_eq!(len % 64, 0, "midstate must sit on a block boundary");
+        Sha256 {
+            state,
+            len,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Returns the current compression state, valid as a
+    /// [`Sha256::from_midstate`] argument only when the bytes absorbed
+    /// so far fall on a 64-byte block boundary.
+    pub fn midstate(&self) -> [u32; 8] {
+        debug_assert_eq!(self.buf_len, 0, "midstate capture mid-block loses data");
+        self.state
+    }
+
     /// Absorbs `data` into the hash state.
     ///
     /// Full 64-byte blocks are compressed straight out of the caller's
@@ -230,6 +255,7 @@ impl Sha256 {
 /// `self.buf` while mutating `self.state` — that split borrow is
 /// what lets full blocks stream from the input slice by reference.
 fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    crate::telemetry::count_sha_block();
     let mut w = [0u32; 64];
     for (i, word) in w.iter_mut().take(16).enumerate() {
         *word = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes"));

@@ -22,7 +22,8 @@ use turquois_baselines::bracha::{Bracha, BrachaOutput};
 use turquois_core::instance::Turquois;
 use turquois_crypto::cost::CostModel;
 use turquois_crypto::hmac::HmacKey;
-use turquois_crypto::sha256::DIGEST_LEN;
+use turquois_crypto::memo::MemoCache;
+use turquois_crypto::sha256::{Digest, DIGEST_LEN};
 use wireless_net::config::overhead;
 use wireless_net::frame::ReceivedFrame;
 use wireless_net::reliable::ReliableEndpoint;
@@ -219,15 +220,16 @@ impl Application for TurquoisApp {
 /// `icv(12) ‖ inner`.
 const ICV_LEN: usize = 12;
 
-/// Per-link HMAC framing (IPSec AH stand-in).
-fn mac_wrap(key: &HmacKey, inner: &[u8]) -> Bytes {
-    let tag = key.mac(inner);
+/// Per-link HMAC framing (IPSec AH stand-in) from a precomputed tag.
+fn mac_wrap(tag: &Digest, inner: &[u8]) -> Bytes {
     let mut buf = BytesMut::with_capacity(ICV_LEN + inner.len());
     buf.put_slice(&tag.as_bytes()[..ICV_LEN]);
     buf.put_slice(inner);
     buf.freeze()
 }
 
+/// Reference unwrap used by tests: recomputes the HMAC from the key.
+#[cfg(test)]
 fn mac_unwrap<'a>(key: &HmacKey, wrapped: &'a [u8]) -> Option<&'a [u8]> {
     if wrapped.len() < ICV_LEN {
         return None;
@@ -238,6 +240,43 @@ fn mac_unwrap<'a>(key: &HmacKey, wrapped: &'a [u8]) -> Option<&'a [u8]> {
     } else {
         None
     }
+}
+
+/// Constant-time comparison of a full tag's 96-bit truncation against a
+/// received ICV.
+fn icv_matches(tag: &Digest, icv: &[u8]) -> bool {
+    if icv.len() != ICV_LEN {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in tag.as_bytes()[..ICV_LEN].iter().zip(icv) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+/// Memo key for one link HMAC: the unordered node pair — which, under
+/// the run's pre-distribution seed, fully determines the pairwise key —
+/// plus the inner message bytes. Together these are every input the
+/// HMAC reads, so a cached tag is always *the* correct tag for that
+/// frame: comparing a received ICV against it is exactly as sound as
+/// recomputing (a forged ICV mismatches the true tag either way).
+type LinkTagKey = (u16, u16, Vec<u8>);
+
+/// One simulation's pool of link HMAC tags, shared by every node the
+/// simulator hosts: the sender's wrap and each receiver's check of the
+/// same frame are the same computation under the same pairwise key, so
+/// within the single-threaded simulation the receive side is a cache
+/// hit on the tag the sender already computed. Simulated CPU is still
+/// charged per logical HMAC on both sides; only host hashing is shared.
+pub type SharedLinkTags = Rc<RefCell<MemoCache<LinkTagKey, Digest>>>;
+
+/// Bound on pooled link tags per simulation; eviction only recomputes.
+const LINK_TAG_CAP: usize = 8192;
+
+/// Creates a fresh per-simulation link-tag pool (see [`SharedLinkTags`]).
+pub fn new_link_tags() -> SharedLinkTags {
+    Rc::new(RefCell::new(MemoCache::new(LINK_TAG_CAP)))
 }
 
 /// Derives the pairwise HMAC keys for `me` in a group of `n` from the
@@ -271,12 +310,23 @@ pub struct BrachaApp {
     /// Byzantine wrappers suppress decisions (only correct processes
     /// count toward k).
     decide_enabled: bool,
+    /// The simulation-wide link-tag pool; simulated cost is still
+    /// charged per logical HMAC, only host hashing is shared.
+    link_tags: SharedLinkTags,
 }
 
 impl BrachaApp {
     /// Wraps an engine; `seed` must match across the group (key
-    /// pre-distribution).
-    pub fn new(engine: Bracha, n: usize, seed: u64, cost: CostModel, probe: SharedProbe) -> Self {
+    /// pre-distribution) and `link_tags` must be the one pool shared by
+    /// every node of the simulation (see [`new_link_tags`]).
+    pub fn new(
+        engine: Bracha,
+        n: usize,
+        seed: u64,
+        cost: CostModel,
+        probe: SharedProbe,
+        link_tags: SharedLinkTags,
+    ) -> Self {
         let me = engine.id();
         BrachaApp {
             engine,
@@ -286,7 +336,20 @@ impl BrachaApp {
             probe,
             mutate: None,
             decide_enabled: true,
+            link_tags,
         }
+    }
+
+    /// The HMAC tag for `inner` on the link between this node and
+    /// `peer`, via the simulation's shared tag pool: whichever endpoint
+    /// computes it first pays the hashing, the other side hits.
+    fn link_tag(&self, peer: usize, inner: &[u8]) -> Digest {
+        let me = self.engine.id();
+        let (lo, hi) = (me.min(peer) as u16, me.max(peer) as u16);
+        let macs = &self.macs;
+        self.link_tags
+            .borrow_mut()
+            .lookup((lo, hi, inner.to_vec()), || macs[peer].mac(inner))
     }
 
     /// Installs an outgoing-message mutator (used by the Byzantine
@@ -320,7 +383,8 @@ impl BrachaApp {
             for dst in 0..n {
                 // One HMAC per destination link (as IPSec AH would).
                 ctx.charge_cpu(self.cost.hmac(bytes.len()));
-                let wrapped = mac_wrap(&self.macs[dst], &bytes);
+                let tag = self.link_tag(dst, &bytes);
+                let wrapped = mac_wrap(&tag, &bytes);
                 self.transport.send(ctx, dst, wrapped);
             }
         }
@@ -337,12 +401,16 @@ impl Application for BrachaApp {
         let delivered = self.transport.on_frame(ctx, &frame);
         for (peer, wrapped) in delivered {
             ctx.charge_cpu(self.cost.hmac(wrapped.len().saturating_sub(ICV_LEN)));
-            let Some(inner) = mac_unwrap(&self.macs[peer], &wrapped) else {
+            let ok = wrapped.len() >= ICV_LEN && {
+                let expected = self.link_tag(peer, &wrapped[ICV_LEN..]);
+                icv_matches(&expected, &wrapped[..ICV_LEN])
+            };
+            if !ok {
                 self.probe.borrow_mut().rejected[self.engine.id()] += 1;
                 continue;
-            };
+            }
             self.probe.borrow_mut().accepted[self.engine.id()] += 1;
-            let out = self.engine.on_message(peer, inner);
+            let out = self.engine.on_message(peer, &wrapped[ICV_LEN..]);
             self.dispatch(ctx, out);
         }
     }
@@ -485,7 +553,7 @@ mod tests {
     #[test]
     fn mac_wrap_round_trip() {
         let key = HmacKey::from_bytes(b"pairwise");
-        let wrapped = mac_wrap(&key, b"payload");
+        let wrapped = mac_wrap(&key.mac(b"payload"), b"payload");
         assert_eq!(mac_unwrap(&key, &wrapped), Some(&b"payload"[..]));
         let other = HmacKey::from_bytes(b"other");
         assert_eq!(mac_unwrap(&other, &wrapped), None);
@@ -494,6 +562,19 @@ mod tests {
         let last = tampered.len() - 1;
         tampered[last] ^= 1;
         assert_eq!(mac_unwrap(&key, &tampered), None);
+    }
+
+    /// A received ICV verifies against the pooled tag exactly when the
+    /// reference recomputation would accept the frame.
+    #[test]
+    fn icv_matches_agrees_with_reference_unwrap() {
+        let key = HmacKey::from_bytes(b"pairwise");
+        let tag = key.mac(b"payload");
+        let wrapped = mac_wrap(&tag, b"payload");
+        assert!(icv_matches(&tag, &wrapped[..ICV_LEN]));
+        assert!(!icv_matches(&tag, &wrapped[1..ICV_LEN + 1]));
+        assert!(!icv_matches(&tag, &wrapped[..ICV_LEN - 1]));
+        assert!(!icv_matches(&key.mac(b"other"), &wrapped[..ICV_LEN]));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! never call `decide`, so the simulator's decision count only reflects
 //! correct processes.
 
-use crate::adapters::{pad_to, BrachaApp, FrameMutation, SharedProbe, TICK_INTERVAL};
+use crate::adapters::{
+    pad_to, BrachaApp, FrameMutation, SharedLinkTags, SharedProbe, TICK_INTERVAL,
+};
 use bytes::Bytes;
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -144,9 +146,11 @@ pub fn byzantine_bracha_app(
     seed: u64,
     cost: CostModel,
     probe: SharedProbe,
+    link_tags: SharedLinkTags,
 ) -> BrachaApp {
     let me = engine.id();
-    BrachaApp::new(engine, n, seed, cost, probe).with_mutation(bracha_flip_mutation(me))
+    BrachaApp::new(engine, n, seed, cost, probe, link_tags)
+        .with_mutation(bracha_flip_mutation(me))
 }
 
 /// The raw value-flipping mutation applied to a Byzantine Bracha node's

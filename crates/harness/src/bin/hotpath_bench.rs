@@ -1,0 +1,239 @@
+//! Host-side hot-path benchmark: runs the same shrunk Table-1 grid
+//! twice in one process — verification memoization force-disabled,
+//! then enabled — asserts the rendered tables are byte-identical
+//! (memoization must never change a simulated result), and writes the
+//! before/after wall-clock plus SHA-256/cache telemetry to
+//! `results/BENCH_hotpath.json` (override: `TURQUOIS_HOTPATH_JSON`).
+//!
+//! Usage: `hotpath_bench [reps]` (default 3). `TURQUOIS_REPS`,
+//! `TURQUOIS_THREADS`, and `TURQUOIS_TIME_LIMIT` are respected;
+//! `TURQUOIS_SIZES` overrides the default `4,7,10` grid (18 cells —
+//! deliberately smaller than the full paper grid: this measures host
+//! work, not simulated latency).
+//!
+//! The grid runs with a 120-phase key horizon instead of the paper
+//! tables' 600: failure-free runs decide within a handful of phases,
+//! and the shorter horizon keeps the one-off `trusted_setup` hashing
+//! (which no cache may legally skip — every key is derived exactly
+//! once) from drowning out the receive-path work this bench measures.
+//! The paper tables and `results/*.txt` keep the 600-phase horizon.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use turquois_crypto::telemetry::set_memo_enabled;
+use turquois_harness::experiment::{
+    paper_table_supervised_with, render_table, reps_from_env, sizes_from_env, time_limit_from_env,
+    HotpathTotals, TableRow, DEFAULT_TIME_LIMIT,
+};
+use turquois_harness::runner;
+use turquois_harness::FaultLoad;
+
+/// Key horizon for the bench grid: ample for failure-free decisions
+/// (which land within a handful of phases) while keeping the uncacheable
+/// one-off key-derivation hashing proportionate to the receive-path work
+/// under measurement. Paper tables keep the default 600.
+const BENCH_KEY_PHASES: usize = 120;
+
+/// Cell labels in grid render order, for the per-cell stderr breakdown.
+const CELL_LABELS: [&str; 6] = [
+    "turquois-unan",
+    "turquois-div",
+    "abba-unan",
+    "abba-div",
+    "bracha-unan",
+    "bracha-div",
+];
+
+/// One measured pass over the grid.
+struct Pass {
+    label: &'static str,
+    wall_s: f64,
+    rendered: String,
+    queue_drops: u64,
+    retried: usize,
+    hotpath: HotpathTotals,
+}
+
+fn totals(rows: &[TableRow]) -> (HotpathTotals, u64, usize) {
+    let mut h = HotpathTotals::default();
+    let mut drops = 0u64;
+    let mut retried = 0usize;
+    for row in rows {
+        for cell in row.cells.iter().flatten() {
+            h.add(cell.hotpath);
+            drops += cell.total_queue_drops;
+            retried += cell.retried_runs;
+        }
+    }
+    (h, drops, retried)
+}
+
+fn main() {
+    let reps = reps_from_env(3);
+    let sizes = if std::env::var_os("TURQUOIS_SIZES").is_some() {
+        sizes_from_env()
+    } else {
+        vec![4, 7, 10]
+    };
+    let threads = runner::threads_from_env();
+    let limit = time_limit_from_env(DEFAULT_TIME_LIMIT);
+    let title = format!("Hotpath bench — failure-free grid ({reps} repetitions)");
+
+    let mut passes: Vec<Pass> = Vec::new();
+    let mut unhealthy = false;
+    for (label, enabled) in [("memo-disabled", false), ("memo-enabled", true)] {
+        set_memo_enabled(enabled);
+        let start = Instant::now();
+        let (rows, health, _report) = paper_table_supervised_with(
+            FaultLoad::FailureFree,
+            &sizes,
+            reps,
+            threads,
+            limit,
+            None,
+            |s| s.key_phases(BENCH_KEY_PHASES),
+        );
+        let wall_s = start.elapsed().as_secs_f64();
+        if !health.ok() {
+            health.log();
+            unhealthy = true;
+        }
+        let (hotpath, queue_drops, retried) = totals(&rows);
+        for row in &rows {
+            for (cell, label) in row.cells.iter().flatten().zip(CELL_LABELS) {
+                eprintln!(
+                    "[hotpath]   {label} n={}: sha-blocks={} verifies={} hits={}",
+                    row.n, cell.hotpath.sha_blocks, cell.hotpath.verify_calls,
+                    cell.hotpath.cache_hits
+                );
+            }
+        }
+        eprintln!(
+            "[hotpath] {label}: wall={wall_s:.3}s sha-blocks={} verifies={} \
+             cache-hits={} cache-misses={} bytes-copied={}",
+            hotpath.sha_blocks,
+            hotpath.verify_calls,
+            hotpath.cache_hits,
+            hotpath.cache_misses,
+            hotpath.bytes_copied
+        );
+        passes.push(Pass {
+            label,
+            wall_s,
+            rendered: render_table(&title, &rows),
+            queue_drops,
+            retried,
+            hotpath,
+        });
+    }
+    // Leave the process-wide switch the way the environment asked for.
+    set_memo_enabled(true);
+
+    let (disabled, enabled) = (&passes[0], &passes[1]);
+    assert_eq!(
+        disabled.rendered, enabled.rendered,
+        "memoization changed the rendered table — it must be invisible to simulated results"
+    );
+    assert_eq!(
+        (disabled.queue_drops, disabled.retried),
+        (enabled.queue_drops, enabled.retried),
+        "memoization changed run stats"
+    );
+    // The hit/miss bookkeeping is mode-independent by construction; any
+    // drift here means the disabled pass took a different code path.
+    assert_eq!(
+        (disabled.verify_calls(), disabled.hotpath.cache_hits),
+        (enabled.verify_calls(), enabled.hotpath.cache_hits),
+        "cache bookkeeping diverged between modes"
+    );
+
+    let reduction =
+        disabled.hotpath.sha_blocks as f64 / enabled.hotpath.sha_blocks.max(1) as f64;
+    println!("{}", enabled.rendered);
+    println!(
+        "hotpath: sha-block reduction {reduction:.2}x \
+         (memo-disabled {} -> memo-enabled {}), hit-rate {:.1}%, \
+         wall-clock {:.3}s -> {:.3}s",
+        disabled.hotpath.sha_blocks,
+        enabled.hotpath.sha_blocks,
+        100.0 * enabled.hotpath.hit_rate(),
+        disabled.wall_s,
+        enabled.wall_s
+    );
+    if reduction < 2.0 {
+        eprintln!(
+            "warning: SHA-256 block reduction {reduction:.2}x is below the 2x target \
+             (grid may be too small for the caches to warm up)"
+        );
+    }
+
+    if let Some(path) = write_hotpath_json(&sizes, reps, &passes, reduction) {
+        eprintln!("[hotpath] wrote {}", path.display());
+    }
+    if unhealthy {
+        std::process::exit(1);
+    }
+}
+
+impl Pass {
+    fn verify_calls(&self) -> u64 {
+        self.hotpath.verify_calls
+    }
+}
+
+/// Writes `results/BENCH_hotpath.json` (or `$TURQUOIS_HOTPATH_JSON`).
+/// I/O failures warn on stderr instead of aborting — telemetry must
+/// never kill a benchmark that already ran.
+fn write_hotpath_json(
+    sizes: &[usize],
+    reps: usize,
+    passes: &[Pass],
+    reduction: f64,
+) -> Option<PathBuf> {
+    let path = std::env::var_os("TURQUOIS_HOTPATH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new("results").join("BENCH_hotpath.json"));
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+                return None;
+            }
+        }
+    }
+    let sizes_json: Vec<String> = sizes.iter().map(|n| n.to_string()).collect();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bin\": \"hotpath_bench\",\n");
+    json.push_str(&format!("  \"sizes\": [{}],\n", sizes_json.join(", ")));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"cells\": {},\n", sizes.len() * 6));
+    json.push_str("  \"tables_byte_identical\": true,\n");
+    json.push_str("  \"passes\": [\n");
+    for (i, p) in passes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"wall_s\": {:.3}, \"sha_blocks\": {}, \
+             \"verify_calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"hit_rate\": {:.4}, \"bytes_copied\": {}}}{}\n",
+            p.label,
+            p.wall_s,
+            p.hotpath.sha_blocks,
+            p.hotpath.verify_calls,
+            p.hotpath.cache_hits,
+            p.hotpath.cache_misses,
+            p.hotpath.hit_rate(),
+            p.hotpath.bytes_copied,
+            if i + 1 < passes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"sha_block_reduction\": {reduction:.2}\n"));
+    json.push_str("}\n");
+    match std::fs::write(&path, json) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}

@@ -13,6 +13,7 @@ use crate::runner::{self, Attempt, JobOutcome, RunnerReport};
 use crate::scenario::{FaultLoad, Protocol, ProposalDistribution, Scenario};
 use crate::stats::LatencyStats;
 use std::time::Duration;
+use turquois_crypto::telemetry::HotpathSnapshot;
 use wireless_net::supervise::StallReport;
 
 /// Group sizes used throughout the paper's evaluation.
@@ -20,6 +21,64 @@ pub const PAPER_SIZES: [usize; 5] = [4, 7, 10, 13, 16];
 
 /// Default repetition count (§7.2).
 pub const PAPER_REPS: usize = 50;
+
+/// Host-side (wall-clock) hot-path work observed while running a cell:
+/// real SHA-256 compression blocks, memoized verification lookups with
+/// their hit/miss split, and payload bytes physically copied by the
+/// `bytes` stub. Purely observational — none of it feeds back into
+/// simulated time, latency cells, or any checked-in table byte.
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq)]
+pub struct HotpathTotals {
+    /// Real SHA-256 compression-function invocations.
+    pub sha_blocks: u64,
+    /// Logical verification lookups (cache hits + misses).
+    pub verify_calls: u64,
+    /// Lookups answered from a memo cache.
+    pub cache_hits: u64,
+    /// Lookups that ran the underlying verification.
+    pub cache_misses: u64,
+    /// Payload bytes physically copied constructing `Bytes` buffers.
+    pub bytes_copied: u64,
+}
+
+impl HotpathTotals {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: HotpathTotals) {
+        self.sha_blocks += other.sha_blocks;
+        self.verify_calls += other.verify_calls;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.bytes_copied += other.bytes_copied;
+    }
+
+    /// Cache hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        if self.verify_calls == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.verify_calls as f64
+        }
+    }
+}
+
+/// Runs `f`, returning its result plus the hot-path telemetry delta the
+/// call produced on this thread. Each `(cell, rep)` job runs start to
+/// finish on one worker thread and the counters are thread-local, so
+/// the delta is exact and deterministic at any `TURQUOIS_THREADS`.
+fn with_hotpath<T>(f: impl FnOnce() -> T) -> (T, HotpathTotals) {
+    let crypto_before = HotpathSnapshot::now();
+    let copied_before = bytes::telemetry::bytes_copied();
+    let out = f();
+    let d = HotpathSnapshot::now().delta_since(&crypto_before);
+    let hotpath = HotpathTotals {
+        sha_blocks: d.sha_blocks,
+        verify_calls: d.verify_calls,
+        cache_hits: d.cache_hits,
+        cache_misses: d.cache_misses,
+        bytes_copied: bytes::telemetry::bytes_copied().saturating_sub(copied_before),
+    };
+    (out, hotpath)
+}
 
 /// Result of measuring one experiment cell.
 #[derive(Clone, Debug, PartialEq)]
@@ -38,6 +97,8 @@ pub struct CellResult {
     /// Repetitions that only completed on the escalated-budget retry
     /// (supervised tables only; always 0 on the unsupervised path).
     pub retried_runs: usize,
+    /// Host-side hot-path telemetry summed over the repetitions.
+    pub hotpath: HotpathTotals,
 }
 
 /// Errors from measurement.
@@ -79,15 +140,18 @@ struct RepSample {
     mean_ms: Option<f64>,
     queue_drops: u64,
     retried: bool,
+    hotpath: HotpathTotals,
 }
 
 /// Runs one `(scenario, rep)` job: seed, simulate, check safety.
 fn run_rep(scenario: &Scenario, rep: usize) -> Result<RepSample, MeasureError> {
-    let outcome = scenario
-        .clone()
-        .seed(scenario_rep_seed(scenario, rep))
-        .run_once()
-        .map_err(MeasureError::Scenario)?;
+    let (outcome, hotpath) = with_hotpath(|| {
+        scenario
+            .clone()
+            .seed(scenario_rep_seed(scenario, rep))
+            .run_once()
+    });
+    let outcome = outcome.map_err(MeasureError::Scenario)?;
     if !outcome.agreement_holds() || !outcome.validity_holds() {
         return Err(MeasureError::SafetyViolation { rep });
     }
@@ -98,6 +162,7 @@ fn run_rep(scenario: &Scenario, rep: usize) -> Result<RepSample, MeasureError> {
         mean_ms: outcome.mean_latency_ms(),
         queue_drops: outcome.stats.queue_drops,
         retried: false,
+        hotpath,
     })
 }
 
@@ -112,12 +177,14 @@ fn run_rep_supervised(
     rep: usize,
     attempt: Attempt,
 ) -> Result<Result<RepSample, MeasureError>, Box<StallReport>> {
-    let outcome = match scenario
-        .clone()
-        .seed(scenario_rep_seed(scenario, rep))
-        .time_limit(base_limit * attempt.budget_scale)
-        .run_once()
-    {
+    let (outcome, hotpath) = with_hotpath(|| {
+        scenario
+            .clone()
+            .seed(scenario_rep_seed(scenario, rep))
+            .time_limit(base_limit * attempt.budget_scale)
+            .run_once()
+    });
+    let outcome = match outcome {
         Ok(o) => o,
         Err(e) => return Ok(Err(MeasureError::Scenario(e))),
     };
@@ -136,6 +203,7 @@ fn run_rep_supervised(
         mean_ms: outcome.mean_latency_ms(),
         queue_drops: outcome.stats.queue_drops,
         retried: attempt.index > 0,
+        hotpath,
     }))
 }
 
@@ -152,12 +220,14 @@ fn aggregate(
     let mut collisions = 0u64;
     let mut queue_drops = 0u64;
     let mut retried = 0usize;
+    let mut hotpath = HotpathTotals::default();
     for sample in samples {
         let sample = sample?;
         frames += sample.frames;
         collisions += sample.collisions;
         queue_drops += sample.queue_drops;
         retried += sample.retried as usize;
+        hotpath.add(sample.hotpath);
         if !sample.complete {
             incomplete += 1;
             continue;
@@ -176,6 +246,7 @@ fn aggregate(
         mean_collisions: collisions as f64 / reps as f64,
         total_queue_drops: queue_drops,
         retried_runs: retried,
+        hotpath,
     })
 }
 
@@ -337,6 +408,22 @@ pub fn paper_table_supervised_on(
     time_limit: Duration,
     sabotage: Option<(usize, usize)>,
 ) -> (Vec<TableRow>, TableHealth, RunnerReport) {
+    paper_table_supervised_with(fault_load, sizes, reps, threads, time_limit, sabotage, |s| s)
+}
+
+/// [`paper_table_supervised_on`] with a per-cell scenario tweak applied
+/// after the standard grid construction — the hook the hot-path bench
+/// uses to shorten the key horizon (`Scenario::key_phases`) without
+/// perturbing the paper tables' scenarios.
+pub fn paper_table_supervised_with(
+    fault_load: FaultLoad,
+    sizes: &[usize],
+    reps: usize,
+    threads: usize,
+    time_limit: Duration,
+    sabotage: Option<(usize, usize)>,
+    tweak: impl Fn(Scenario) -> Scenario,
+) -> (Vec<TableRow>, TableHealth, RunnerReport) {
     let mut scenarios = Vec::new();
     let mut labels = Vec::new();
     for &n in sizes {
@@ -345,12 +432,12 @@ pub fn paper_table_supervised_on(
                 ProposalDistribution::Unanimous,
                 ProposalDistribution::Divergent,
             ] {
-                scenarios.push(
+                scenarios.push(tweak(
                     Scenario::new(protocol, n)
                         .proposals(dist)
                         .fault_load(fault_load)
                         .time_limit(time_limit),
-                );
+                ));
                 labels.push((n, format!("{} {}", protocol.name(), dist.name())));
             }
         }
@@ -433,16 +520,44 @@ where
 /// Renders the per-experiment stats line printed under each table:
 /// total transmit-queue tail drops (the congestion sharp edge) and how
 /// many repetitions only completed on the escalated-budget retry.
+///
+/// The checked-in `results/*.txt` transcribe this line byte-for-byte,
+/// so host-side hot-path telemetry (SHA-256 blocks, memo hits, bytes
+/// copied) is appended **only** when [`hotpath_stats_enabled`] — by
+/// default the output is identical to what it was before memoization.
 pub fn table_stats_line(rows: &[TableRow]) -> String {
     let mut queue_drops = 0u64;
     let mut retried = 0usize;
+    let mut hotpath = HotpathTotals::default();
     for row in rows {
         for cell in row.cells.iter().flatten() {
             queue_drops += cell.total_queue_drops;
             retried += cell.retried_runs;
+            hotpath.add(cell.hotpath);
         }
     }
-    format!("stats: tx-queue drops={queue_drops} retried reps={retried}")
+    let mut line = format!("stats: tx-queue drops={queue_drops} retried reps={retried}");
+    if hotpath_stats_enabled() {
+        line.push_str(&format!(
+            " | hotpath: sha-blocks={} verifies={} cache-hits={} cache-misses={} \
+             hit-rate={:.1}% bytes-copied={}",
+            hotpath.sha_blocks,
+            hotpath.verify_calls,
+            hotpath.cache_hits,
+            hotpath.cache_misses,
+            100.0 * hotpath.hit_rate(),
+            hotpath.bytes_copied
+        ));
+    }
+    line
+}
+
+/// `TURQUOIS_HOTPATH_STATS` opt-in for the extended stats line: set to
+/// any non-empty value other than `0` to append host-side hot-path
+/// telemetry. Off by default so the checked-in `results/*.txt` stay
+/// byte-identical.
+pub fn hotpath_stats_enabled() -> bool {
+    matches!(std::env::var("TURQUOIS_HOTPATH_STATS"), Ok(v) if !v.is_empty() && v != "0")
 }
 
 /// Renders rows in the paper's layout.
@@ -662,6 +777,7 @@ mod tests {
             mean_ms: Some(mean_ms),
             queue_drops: 0,
             retried: false,
+            hotpath: HotpathTotals::default(),
         })
     }
 
@@ -714,6 +830,7 @@ mod tests {
                     mean_collisions: 2.0,
                     total_queue_drops: 0,
                     retried_runs: 0,
+                    hotpath: HotpathTotals::default(),
                 }),
                 Err("boom".into()),
                 Ok(CellResult {
@@ -727,6 +844,7 @@ mod tests {
                     mean_collisions: 5.0,
                     total_queue_drops: 0,
                     retried_runs: 0,
+                    hotpath: HotpathTotals::default(),
                 }),
                 Err("x".into()),
                 Err("y".into()),

@@ -312,25 +312,39 @@ impl Scenario {
                     .map(|(i, ring)| self.make_turquois(cfg, i, proposals[i], ring, &probe, is_faulty(i)))
                     .collect()
             }
-            Protocol::Bracha => (0..n)
-                .map(|i| {
-                    let engine = Bracha::new(n, f, i, proposals[i], self.seed + 31 * i as u64);
-                    if !is_faulty(i) {
-                        Box::new(BrachaApp::new(engine, n, self.seed, self.cost, probe.clone()))
-                            as Box<dyn Application>
-                    } else if self.fault_load == FaultLoad::Byzantine {
-                        Box::new(byzantine_bracha_app(
-                            engine,
-                            n,
-                            self.seed,
-                            self.cost,
-                            probe.clone(),
-                        )) as Box<dyn Application>
-                    } else {
-                        Box::new(CrashedApp) as Box<dyn Application>
-                    }
-                })
-                .collect(),
+            Protocol::Bracha => {
+                // One link-tag pool per simulation: sender-side wraps
+                // and receiver-side checks of the same frame share one
+                // host-side HMAC computation (simulated cost is still
+                // charged on both ends).
+                let link_tags = crate::adapters::new_link_tags();
+                (0..n)
+                    .map(|i| {
+                        let engine = Bracha::new(n, f, i, proposals[i], self.seed + 31 * i as u64);
+                        if !is_faulty(i) {
+                            Box::new(BrachaApp::new(
+                                engine,
+                                n,
+                                self.seed,
+                                self.cost,
+                                probe.clone(),
+                                link_tags.clone(),
+                            )) as Box<dyn Application>
+                        } else if self.fault_load == FaultLoad::Byzantine {
+                            Box::new(byzantine_bracha_app(
+                                engine,
+                                n,
+                                self.seed,
+                                self.cost,
+                                probe.clone(),
+                                link_tags.clone(),
+                            )) as Box<dyn Application>
+                        } else {
+                            Box::new(CrashedApp) as Box<dyn Application>
+                        }
+                    })
+                    .collect()
+            }
             Protocol::Abba => {
                 let keys = AbbaKeys::trusted_setup(n, f, self.seed);
                 keys.into_iter()

@@ -1,0 +1,55 @@
+//! CI differential smoke: the verification memo caches must be
+//! invisible to every simulated result. Runs the `table1` binary twice
+//! on a shrunk grid — once with memoization force-disabled via
+//! `TURQUOIS_NO_MEMO=1`, once with it enabled — and asserts the stdout
+//! bytes are identical. Any divergence means a cache leaked into
+//! simulated time, a verdict, or the rendered statistics.
+
+use std::process::Command;
+
+/// Runs the `table1` binary on a shrunk grid with the given extra
+/// environment and returns its stdout.
+fn run_table1(no_memo: bool) -> Vec<u8> {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_table1"));
+    cmd.env("TURQUOIS_SIZES", "4,7")
+        .env("TURQUOIS_REPS", "2")
+        .env("TURQUOIS_TIME_LIMIT", "120")
+        // Keep the child's host-timing JSON out of the source tree.
+        .env(
+            "TURQUOIS_BENCH_JSON",
+            std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("BENCH_memo_differential.json"),
+        )
+        // The hotpath stats line aggregates host-side counters that
+        // legitimately differ between modes; it must stay off (as it is
+        // by default) for byte comparison.
+        .env_remove("TURQUOIS_HOTPATH_STATS");
+    if no_memo {
+        cmd.env("TURQUOIS_NO_MEMO", "1");
+    } else {
+        cmd.env_remove("TURQUOIS_NO_MEMO");
+    }
+    let out = cmd.output().expect("table1 runs");
+    assert!(
+        out.status.success(),
+        "table1 (no_memo={no_memo}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn table1_output_is_byte_identical_with_and_without_memoization() {
+    let disabled = run_table1(true);
+    let enabled = run_table1(false);
+    assert!(
+        !enabled.is_empty(),
+        "table1 produced no output — smoke setup is broken"
+    );
+    assert_eq!(
+        disabled,
+        enabled,
+        "memoization changed table1's stdout:\n--- no-memo ---\n{}\n--- memo ---\n{}",
+        String::from_utf8_lossy(&disabled),
+        String::from_utf8_lossy(&enabled)
+    );
+}

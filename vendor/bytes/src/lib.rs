@@ -2,9 +2,22 @@
 //!
 //! The build environment has no access to crates.io, so the API subset
 //! the workspace uses is implemented here: [`Bytes`] (a cheaply
-//! cloneable, sliceable, immutable byte buffer over `Arc<[u8]>`),
+//! cloneable, sliceable, immutable byte buffer over `Arc<Vec<u8>>`),
 //! [`BytesMut`] (a growable builder), and the [`Buf`]/[`BufMut`]
 //! cursor traits for the big-endian wire codecs.
+//!
+//! # Zero-copy construction
+//!
+//! The backing store is `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that
+//! [`From<Vec<u8>>`] — and therefore [`BytesMut::freeze`], which every
+//! wire encoder in the workspace ends with — *moves* the buffer into
+//! the shared allocation instead of copying it (`Arc<[u8]>::from`
+//! cannot adopt a `Box<[u8]>` allocation and memcpys). Clones and
+//! slices were always reference bumps; with this layout the only
+//! copying constructors left are [`Bytes::copy_from_slice`] and
+//! [`Bytes::from_static`], and the [`telemetry`] module counts every
+//! byte they copy so hot paths that still materialize buffers are
+//! visible.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,12 +27,35 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+pub mod telemetry {
+    //! Thread-local accounting of payload bytes *copied* into new
+    //! [`Bytes`](super::Bytes) allocations (zero-copy constructions —
+    //! clone, slice, `From<Vec<u8>>`, `freeze` — count nothing).
+
+    use std::cell::Cell;
+
+    thread_local! {
+        static COPIED: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn count_copied(bytes: usize) {
+        COPIED.with(|c| c.set(c.get() + bytes as u64));
+    }
+
+    /// Total bytes this thread has copied into fresh `Bytes`
+    /// allocations since it started. Monotone; subtract two readings
+    /// to attribute copies to an interval.
+    pub fn bytes_copied() -> u64 {
+        COPIED.with(Cell::get)
+    }
+}
+
 /// A cheaply cloneable immutable byte buffer.
 ///
 /// Clones and [`Bytes::slice`] share the underlying allocation.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -27,7 +63,11 @@ pub struct Bytes {
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Bytes {
-        Bytes::from_static(&[])
+        Bytes {
+            data: Arc::new(Vec::new()),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Wraps a static byte slice without copying.
@@ -39,9 +79,13 @@ impl Bytes {
 
     /// Copies `data` into a new shared allocation.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        let data: Arc<[u8]> = Arc::from(data);
+        telemetry::count_copied(data.len());
         let end = data.len();
-        Bytes { data, start: 0, end }
+        Bytes {
+            data: Arc::new(data.to_vec()),
+            start: 0,
+            end,
+        }
     }
 
     /// Length in bytes.
@@ -124,9 +168,13 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        let data: Arc<[u8]> = Arc::from(v.into_boxed_slice());
-        let end = data.len();
-        Bytes { data, start: 0, end }
+        // Zero-copy: the vector is moved into the shared allocation.
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -433,5 +481,29 @@ mod tests {
         assert!(Bytes::new().is_empty());
         assert_eq!(Bytes::from_static(b"abc"), Bytes::from(b"abc".to_vec()));
         assert_eq!(Bytes::from_static(b"abc"), b"abc"[..]);
+    }
+
+    #[test]
+    fn from_vec_freeze_and_clone_are_zero_copy() {
+        let v = vec![1u8, 2, 3, 4];
+        let addr = v.as_ptr();
+        let before = telemetry::bytes_copied();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr(), addr, "From<Vec> must adopt the allocation");
+        let c = b.clone();
+        assert_eq!(c.as_ptr(), addr, "clone shares the allocation");
+        assert_eq!(b.slice(1..3).as_ptr(), addr.wrapping_add(1));
+        let mut w = BytesMut::with_capacity(4);
+        w.put_slice(b"wxyz");
+        let frozen = w.freeze();
+        assert_eq!(&frozen[..], b"wxyz");
+        assert_eq!(
+            telemetry::bytes_copied(),
+            before,
+            "no Bytes-materializing copies happened"
+        );
+        let copied = Bytes::copy_from_slice(b"abc");
+        assert_eq!(telemetry::bytes_copied(), before + 3);
+        assert_ne!(copied.as_ptr(), addr);
     }
 }
