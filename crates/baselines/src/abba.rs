@@ -471,14 +471,83 @@ pub struct AbbaOutput {
 #[derive(Debug, Default)]
 struct PreVoteRound {
     votes: HashMap<usize, (bool, SigShare)>,
+    /// Incremental distinct-sender tallies over `votes` (`[0]` = votes
+    /// for `false`, `[1]` = for `true`), so the unanimity check in
+    /// `try_progress` is O(1) instead of a rescan.
+    value_counts: [usize; 2],
     fired: bool,
     example: [Option<EmbeddedPreVote>; 2],
+}
+
+impl PreVoteRound {
+    /// Records `from`'s pre-vote if it is the first accepted from that
+    /// party this round (first value wins).
+    fn record(&mut self, from: usize, value: bool, share: SigShare) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.votes.entry(from) {
+            e.insert((value, share));
+            self.value_counts[value as usize] += 1;
+        }
+    }
+
+    /// Parties whose recorded pre-vote equals `value`. O(1).
+    fn count(&self, value: bool) -> usize {
+        debug_assert_eq!(self.value_counts[value as usize], self.scan_count(value));
+        self.value_counts[value as usize]
+    }
+
+    /// The retired scan `count` replaced (debug oracle + proptest).
+    fn scan_count(&self, value: bool) -> usize {
+        self.votes.values().filter(|(v, _)| *v == value).count()
+    }
+}
+
+/// Tally index for a [`MainVoteValue`] (`Zero`, `One`, `Abstain`).
+#[inline]
+fn mv_idx(value: MainVoteValue) -> usize {
+    match value {
+        MainVoteValue::Zero => 0,
+        MainVoteValue::One => 1,
+        MainVoteValue::Abstain => 2,
+    }
 }
 
 #[derive(Debug, Default)]
 struct MainVoteRound {
     votes: HashMap<usize, (MainVoteValue, SigShare)>,
+    /// Incremental distinct-sender tallies over `votes`, indexed by
+    /// [`mv_idx`]; backs the O(1) binary/unanimity checks in
+    /// `try_progress`.
+    value_counts: [usize; 3],
     fired: bool,
+}
+
+impl MainVoteRound {
+    /// Records `from`'s main-vote if it is the first accepted from that
+    /// party this round (first value wins).
+    fn record(&mut self, from: usize, value: MainVoteValue, share: SigShare) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.votes.entry(from) {
+            e.insert((value, share));
+            self.value_counts[mv_idx(value)] += 1;
+        }
+    }
+
+    /// Parties whose recorded main-vote equals `value`. O(1).
+    fn count(&self, value: MainVoteValue) -> usize {
+        debug_assert_eq!(self.value_counts[mv_idx(value)], self.scan_count(value));
+        self.value_counts[mv_idx(value)]
+    }
+
+    /// The retired scan `count` replaced (debug oracle + proptest).
+    fn scan_count(&self, value: MainVoteValue) -> usize {
+        self.votes.values().filter(|(v, _)| *v == value).count()
+    }
+}
+
+/// What a fired pre-vote quorum resolved to (extracted under the round
+/// borrow; everything the follow-up needs, no map clone).
+enum PreFire {
+    Unanimous { bit: bool, shares: Vec<SigShare> },
+    Mixed { zero: EmbeddedPreVote, one: EmbeddedPreVote },
 }
 
 /// Dual-threshold key material for one ABBA party (from the trusted
@@ -652,7 +721,7 @@ impl Abba {
                     return out;
                 }
                 let pr = self.pre.entry(round).or_default();
-                pr.votes.entry(from).or_insert((value, share));
+                pr.record(from, value, share);
                 if pr.example[value as usize].is_none() {
                     pr.example[value as usize] = Some(EmbeddedPreVote { value, share, just });
                 }
@@ -719,7 +788,7 @@ impl Abba {
                         .or_insert(coin_share);
                 }
                 let mr = self.main.entry(round).or_default();
-                mr.votes.entry(from).or_insert((value, share));
+                mr.record(from, value, share);
             }
         }
         self.try_progress(&mut out);
@@ -794,37 +863,47 @@ impl Abba {
             let round = self.round;
 
             // Pre-vote quorum → main-vote.
-            let pre_snapshot = {
+            let pre_fire = {
                 let pr = self.pre.entry(round).or_default();
                 if !pr.fired && pr.votes.len() >= need {
                     pr.fired = true;
-                    Some((pr.votes.clone(), pr.example.clone()))
+                    // O(1) unanimity from the incremental tallies; only
+                    // the data the follow-up needs leaves the borrow (no
+                    // vote-map clone).
+                    if pr.count(false) == 0 || pr.count(true) == 0 {
+                        let bit = pr.count(false) == 0;
+                        let shares: Vec<SigShare> = pr
+                            .votes
+                            .values()
+                            .filter(|(v, _)| *v == bit)
+                            .map(|(_, s)| *s)
+                            .collect();
+                        Some(PreFire::Unanimous { bit, shares })
+                    } else {
+                        Some(PreFire::Mixed {
+                            zero: pr.example[0].clone().expect("mixed → a 0 pre-vote exists"),
+                            one: pr.example[1].clone().expect("mixed → a 1 pre-vote exists"),
+                        })
+                    }
                 } else {
                     None
                 }
             };
-            if let Some((votes, examples)) = pre_snapshot {
-                let values: Vec<bool> = votes.values().map(|(v, _)| *v).collect();
-                let unanimous = values.iter().all(|&v| v) || values.iter().all(|&v| !v);
-                let (value, just) = if unanimous {
-                    let bit = values[0];
-                    let shares: Vec<SigShare> = votes
-                        .values()
-                        .filter(|(v, _)| *v == bit)
-                        .map(|(_, s)| *s)
-                        .collect();
-                    out.ops.shares_combined += shares.len() as u32;
-                    let sig = self
-                        .keys
-                        .sig_public
-                        .combine(&pv_statement(round, bit), &shares)
-                        .expect("quorum of verified shares combines");
-                    self.hard_sigs.entry((round, bit)).or_insert(sig);
-                    (MainVoteValue::from_bit(bit), MainVoteJust::ForValue(sig))
-                } else {
-                    let zero = examples[0].clone().expect("mixed → a 0 pre-vote exists");
-                    let one = examples[1].clone().expect("mixed → a 1 pre-vote exists");
-                    (MainVoteValue::Abstain, MainVoteJust::Abstain { zero, one })
+            if let Some(fire) = pre_fire {
+                let (value, just) = match fire {
+                    PreFire::Unanimous { bit, shares } => {
+                        out.ops.shares_combined += shares.len() as u32;
+                        let sig = self
+                            .keys
+                            .sig_public
+                            .combine(&pv_statement(round, bit), &shares)
+                            .expect("quorum of verified shares combines");
+                        self.hard_sigs.entry((round, bit)).or_insert(sig);
+                        (MainVoteValue::from_bit(bit), MainVoteJust::ForValue(sig))
+                    }
+                    PreFire::Mixed { zero, one } => {
+                        (MainVoteValue::Abstain, MainVoteJust::Abstain { zero, one })
+                    }
                 };
                 let share = self.keys.sig_key.sign_share(&mv_statement(round, value));
                 let coin_share = self.keys.coin_key.coin_share(&coin_tag(round));
@@ -843,28 +922,47 @@ impl Abba {
             }
 
             // Main-vote quorum → decide / next round's pre-vote.
-            let main_snapshot = {
+            let main_fire = {
                 let mr = self.main.entry(round).or_default();
                 if !mr.fired && mr.votes.len() >= need {
                     mr.fired = true;
-                    Some(mr.votes.clone())
+                    // Copy the O(1) tallies out of the borrow; the
+                    // abstain shares are only materialised when no
+                    // binary vote exists (the only case that uses them).
+                    let counts = [
+                        mr.count(MainVoteValue::Zero),
+                        mr.count(MainVoteValue::One),
+                        mr.count(MainVoteValue::Abstain),
+                    ];
+                    let abstain_shares: Vec<SigShare> = if counts[0] == 0 && counts[1] == 0 {
+                        mr.votes
+                            .values()
+                            .filter(|(v, _)| *v == MainVoteValue::Abstain)
+                            .map(|(_, s)| *s)
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    Some((counts, abstain_shares))
                 } else {
                     None
                 }
             };
-            if let Some(votes) = main_snapshot {
-                let values: Vec<MainVoteValue> = votes.values().map(|(v, _)| *v).collect();
-                let binary = [MainVoteValue::Zero, MainVoteValue::One]
-                    .into_iter()
-                    .find(|v| values.contains(v))
-                    .and_then(|v| v.as_bit());
+            if let Some((counts, abstain_shares)) = main_fire {
+                // Zero checked before One, as in the retired scan.
+                let binary = if counts[mv_idx(MainVoteValue::Zero)] > 0 {
+                    Some(false)
+                } else if counts[mv_idx(MainVoteValue::One)] > 0 {
+                    Some(true)
+                } else {
+                    None
+                };
                 let next_round = round + 1;
                 let (next_value, next_just) = match binary {
                     Some(bit) => {
-                        if values
-                            .iter()
-                            .all(|&v| v == MainVoteValue::from_bit(bit))
-                        {
+                        let unanimous = counts[mv_idx(MainVoteValue::Abstain)] == 0
+                            && counts[mv_idx(MainVoteValue::from_bit(!bit))] == 0;
+                        if unanimous {
                             // Unanimous main-votes: decide.
                             if self.decision.is_none() {
                                 self.decision = Some(bit);
@@ -881,11 +979,6 @@ impl Abba {
                     None => {
                         // All abstain: combine the abstain signature and
                         // the shared coin.
-                        let abstain_shares: Vec<SigShare> = votes
-                            .values()
-                            .filter(|(v, _)| *v == MainVoteValue::Abstain)
-                            .map(|(_, s)| *s)
-                            .collect();
                         out.ops.shares_combined += abstain_shares.len() as u32;
                         let abstain_sig = self
                             .keys
@@ -1180,5 +1273,51 @@ mod tests {
                 shares_combined: 5,
             }
         );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// Pre-vote and main-vote incremental tallies vs. the retired
+        /// scan oracle under arbitrary interleavings of records
+        /// (duplicate parties keep their first value) and the engine's
+        /// whole-round GC.
+        #[test]
+        fn vote_round_tallies_match_scan_oracle(
+            ops in proptest::collection::vec(
+                // (round, party, value sel 0..3, gc trigger)
+                (1u32..6, 0usize..7, 0u8..3, 0u8..16),
+                1..80,
+            ),
+        ) {
+            let share = |party: usize| SigShare {
+                party,
+                tag: turquois_crypto::sha256::Digest([0u8; turquois_crypto::sha256::DIGEST_LEN]),
+            };
+            let mut pre: HashMap<u32, PreVoteRound> = HashMap::new();
+            let mut main: HashMap<u32, MainVoteRound> = HashMap::new();
+            for (round, party, v, gc) in ops {
+                if gc == 0 {
+                    // The engine's GC drops whole rounds below a floor.
+                    pre.retain(|&r, _| r >= round);
+                    main.retain(|&r, _| r >= round);
+                } else {
+                    pre.entry(round).or_default().record(party, v % 2 == 1, share(party));
+                    let mv = [MainVoteValue::Zero, MainVoteValue::One, MainVoteValue::Abstain]
+                        [v as usize];
+                    main.entry(round).or_default().record(party, mv, share(party));
+                }
+                for pr in pre.values() {
+                    for value in [false, true] {
+                        proptest::prop_assert_eq!(pr.count(value), pr.scan_count(value));
+                    }
+                }
+                for mr in main.values() {
+                    for value in [MainVoteValue::Zero, MainVoteValue::One, MainVoteValue::Abstain] {
+                        proptest::prop_assert_eq!(mr.count(value), mr.scan_count(value));
+                    }
+                }
+            }
+        }
     }
 }

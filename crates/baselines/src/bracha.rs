@@ -93,12 +93,58 @@ pub struct BrachaOutput {
     pub newly_decided: Option<bool>,
 }
 
+/// Tally index for a [`StepValue`] (`Zero`, `One`, `Null` in order).
+#[inline]
+fn sv_idx(value: StepValue) -> usize {
+    match value {
+        StepValue::Zero => 0,
+        StepValue::One => 1,
+        StepValue::Null => 2,
+    }
+}
+
 #[derive(Debug, Default)]
 struct RoundState {
     /// Validated step values per step (1-3), per sender.
     accepted: [HashMap<usize, StepValue>; 3],
+    /// Incremental per-(step, value) sender tallies over `accepted`
+    /// (indexed `[step-1][sv_idx]`), so `is_valid`'s majority probes and
+    /// `try_fire`'s quorum counts are O(1) instead of rescanning the
+    /// maps on every pending message.
+    counts: [[usize; 3]; 3],
     /// Steps already advanced past.
     fired: [bool; 3],
+}
+
+impl RoundState {
+    /// Records `origin`'s step value if it is the first one accepted
+    /// from that sender at `step` (later values from the same sender
+    /// are ignored, preserving first-wins semantics).
+    fn accept(&mut self, step: u8, origin: usize, value: StepValue) {
+        let s = (step - 1) as usize;
+        if let std::collections::hash_map::Entry::Vacant(e) = self.accepted[s].entry(origin) {
+            e.insert(value);
+            self.counts[s][sv_idx(value)] += 1;
+        }
+    }
+
+    /// Senders whose accepted value at `step` equals `value`. O(1).
+    fn count(&self, step: u8, value: StepValue) -> usize {
+        debug_assert_eq!(
+            self.counts[(step - 1) as usize][sv_idx(value)],
+            self.scan_count(step, value)
+        );
+        self.counts[(step - 1) as usize][sv_idx(value)]
+    }
+
+    /// The retired scan `count` replaced; kept as the `debug_assert!`
+    /// oracle (and exercised by the proptest).
+    fn scan_count(&self, step: u8, value: StepValue) -> usize {
+        self.accepted[(step - 1) as usize]
+            .values()
+            .filter(|&&x| x == value)
+            .count()
+    }
 }
 
 /// One process's Bracha consensus engine.
@@ -216,9 +262,7 @@ impl Bracha {
             for (tag, value) in std::mem::take(&mut self.pending) {
                 if self.is_valid(tag, value) {
                     let rs = self.rounds.entry(tag.round).or_default();
-                    rs.accepted[(tag.step - 1) as usize]
-                        .entry(tag.origin)
-                        .or_insert(value);
+                    rs.accept(tag.step, tag.origin, value);
                     progressed = true;
                 } else {
                     still_pending.push((tag, value));
@@ -240,13 +284,7 @@ impl Bracha {
         let majority_feasible = |round: u32, step: usize, v: StepValue, threshold: usize| {
             self.rounds
                 .get(&round)
-                .map(|rs| {
-                    rs.accepted[step - 1]
-                        .values()
-                        .filter(|&&x| x == v)
-                        .count()
-                        >= threshold
-                })
+                .map(|rs| rs.count(step as u8, v) >= threshold)
                 .unwrap_or(false)
         };
         match tag.step {
@@ -299,13 +337,15 @@ impl Bracha {
             return false;
         }
         rs.fired[(step - 1) as usize] = true;
-        let values: Vec<StepValue> = accepted.values().copied().collect();
-        let count = |v: StepValue| values.iter().filter(|&&x| x == v).count();
+        // O(1) reads from the incremental tallies; `Null` counts are
+        // never needed by the transitions below.
+        let zero = rs.count(step, StepValue::Zero);
+        let one = rs.count(step, StepValue::One);
         match step {
             1 => {
                 // Majority value (ties to One, mirroring the Turquois
                 // tie-break for comparability).
-                self.value = if count(StepValue::Zero) > count(StepValue::One) {
+                self.value = if zero > one {
                     StepValue::Zero
                 } else {
                     StepValue::One
@@ -313,15 +353,14 @@ impl Bracha {
                 self.step = 2;
             }
             2 => {
-                let w = [StepValue::Zero, StepValue::One]
+                let w = [(StepValue::Zero, zero), (StepValue::One, one)]
                     .into_iter()
-                    .find(|&v| 2 * count(v) > self.n);
+                    .find(|&(_, c)| 2 * c > self.n)
+                    .map(|(v, _)| v);
                 self.value = w.unwrap_or(StepValue::Null);
                 self.step = 3;
             }
             _ => {
-                let zero = count(StepValue::Zero);
-                let one = count(StepValue::One);
                 let (best, best_count) = if zero > one {
                     (StepValue::Zero, zero)
                 } else {
@@ -528,5 +567,44 @@ mod tests {
         let out = e.on_message(1, b"garbage");
         assert!(out.send.is_empty());
         assert_eq!(out.newly_decided, None);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// [`RoundState`] incremental tallies vs. the retired scan
+        /// oracle under arbitrary interleavings of accepts (including
+        /// duplicate senders — first value wins — and conflicting
+        /// values) and round garbage collection.
+        #[test]
+        fn round_state_tallies_match_scan_oracle(
+            ops in proptest::collection::vec(
+                // (round, step sel, origin, value sel, gc trigger)
+                (1u32..6, 1u8..4, 0usize..7, 0u8..3, 0u8..16),
+                1..80,
+            ),
+        ) {
+            let mut rounds: std::collections::HashMap<u32, RoundState> =
+                std::collections::HashMap::new();
+            for (round, step, origin, v, gc) in ops {
+                if gc == 0 {
+                    // The engine's GC drops whole rounds below a floor.
+                    rounds.retain(|&r, _| r >= round);
+                } else {
+                    let value = [StepValue::Zero, StepValue::One, StepValue::Null][v as usize];
+                    rounds.entry(round).or_default().accept(step, origin, value);
+                }
+                for rs in rounds.values() {
+                    for step in 1u8..=3 {
+                        for value in [StepValue::Zero, StepValue::One, StepValue::Null] {
+                            proptest::prop_assert_eq!(
+                                rs.count(step, value),
+                                rs.scan_count(step, value)
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

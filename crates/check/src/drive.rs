@@ -561,7 +561,7 @@ enum AProc {
     Correct(Box<Abba>),
     /// Round-1 signed equivocation (a different, correctly-signed
     /// pre-vote per mask side), one garbage salvo, then silence.
-    Byz { keys: AbbaKeys, mask: u64 },
+    Byz { keys: Box<AbbaKeys>, mask: u64 },
 }
 
 fn run_abba(s: &Schedule) -> RunReport {
@@ -580,7 +580,7 @@ fn run_abba(s: &Schedule) -> RunReport {
                 s.seed.wrapping_add(31 * id as u64),
             ))),
             Some(b) => AProc::Byz {
-                keys: k,
+                keys: Box::new(k),
                 mask: match b.strategy {
                     ByzStrategy::SplitBrain => b.mask,
                     ByzStrategy::Flip => u64::MAX,

@@ -49,18 +49,51 @@ impl Record {
     }
 }
 
+/// Tally index for a [`Value`] (`Zero`, `One`, `Bot` in order).
+#[inline]
+fn value_idx(value: Value) -> usize {
+    match value {
+        Value::Zero => 0,
+        Value::One => 1,
+        Value::Bot => 2,
+    }
+}
+
 #[derive(Clone, Debug, Default)]
 struct PhaseSlot {
     /// `senders[s]` holds the distinct records sender `s` produced in
     /// this phase (bounded: ≤ 3 values × 2 coin flags × 2 statuses).
     senders: Vec<Vec<Record>>,
+    /// Distinct senders with ≥ 1 record in this phase, maintained on
+    /// insert so quorum checks are O(1) instead of rescanning `senders`.
+    phase_senders: usize,
+    /// Distinct senders per value (indexed by [`value_idx`]); an
+    /// equivocator contributes once per value it signed, never twice to
+    /// the same value.
+    value_senders: [usize; 3],
 }
 
 impl PhaseSlot {
     fn new(n: usize) -> Self {
         PhaseSlot {
             senders: vec![Vec::new(); n],
+            phase_senders: 0,
+            value_senders: [0; 3],
         }
+    }
+
+    /// The retired scan the incremental `phase_senders` replaced; kept
+    /// as the `debug_assert!` oracle (and exercised by the proptest).
+    fn scan_phase_senders(&self) -> usize {
+        self.senders.iter().filter(|r| !r.is_empty()).count()
+    }
+
+    /// The retired scan the incremental `value_senders` replaced.
+    fn scan_value_senders(&self, value: Value) -> usize {
+        self.senders
+            .iter()
+            .filter(|recs| recs.iter().any(|r| r.value == value))
+            .count()
     }
 }
 
@@ -108,6 +141,15 @@ impl MessageStore {
         {
             return false;
         }
+        // Update the incremental tallies before the push: the record
+        // lists are tiny (≤ 12 entries), so these membership probes are
+        // cheap, and they only run on genuinely new records.
+        if records.is_empty() {
+            slot.phase_senders += 1;
+        }
+        if !records.iter().any(|r| r.value == record.value) {
+            slot.value_senders[value_idx(record.value)] += 1;
+        }
         records.push(record);
         true
     }
@@ -117,23 +159,27 @@ impl MessageStore {
         self.n
     }
 
-    /// Distinct senders with at least one message at `phase`.
+    /// Distinct senders with at least one message at `phase`. O(1):
+    /// answered from the incremental tally maintained by
+    /// [`MessageStore::insert`].
     pub fn count_phase(&self, phase: u32) -> usize {
         self.phases
             .get(&phase)
-            .map(|s| s.senders.iter().filter(|r| !r.is_empty()).count())
+            .map(|s| {
+                debug_assert_eq!(s.phase_senders, s.scan_phase_senders());
+                s.phase_senders
+            })
             .unwrap_or(0)
     }
 
     /// Distinct senders with at least one message `(phase, value)`.
+    /// O(1), from the same incremental tallies.
     pub fn count_value(&self, phase: u32, value: Value) -> usize {
         self.phases
             .get(&phase)
             .map(|s| {
-                s.senders
-                    .iter()
-                    .filter(|recs| recs.iter().any(|r| r.value == value))
-                    .count()
+                debug_assert_eq!(s.value_senders[value_idx(value)], s.scan_value_senders(value));
+                s.value_senders[value_idx(value)]
             })
             .unwrap_or(0)
     }
@@ -412,5 +458,47 @@ mod tests {
     fn insert_rejects_out_of_range_sender() {
         let mut s = MessageStore::new(2);
         s.insert(&env(5, 1, Value::One), sig(0));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// Incremental tallies vs. the retired scan oracle under
+        /// arbitrary interleavings of inserts (including duplicates and
+        /// equivocation — repeated (sender, phase) pairs with varying
+        /// values/flags) and garbage collection (`prune_below`).
+        #[test]
+        fn incremental_tallies_match_scan_oracle(
+            ops in proptest::collection::vec(
+                // (sender, phase, value sel, coin, status sel, prune trigger)
+                (0usize..4, 1u32..8, 0u8..3, proptest::arbitrary::any::<bool>(), 0u8..2, 0u8..16),
+                1..60,
+            ),
+        ) {
+            let mut s = MessageStore::new(4);
+            for (sender, phase, v, coin, st, prune) in ops {
+                if prune == 0 {
+                    // GC: drop everything below this phase.
+                    s.prune_below(phase);
+                } else {
+                    let value = [Value::Zero, Value::One, Value::Bot][v as usize];
+                    let status = if st == 0 { Status::Undecided } else { Status::Decided };
+                    let e = Envelope { sender, phase, value, coin_flip: coin, status };
+                    s.insert(&e, sig(v));
+                }
+                // Check every live phase against the scan oracle (the
+                // debug_assert inside count_* checks too, but this also
+                // runs with debug assertions off).
+                for (&phase, slot) in &s.phases {
+                    proptest::prop_assert_eq!(s.count_phase(phase), slot.scan_phase_senders());
+                    for value in [Value::Zero, Value::One, Value::Bot] {
+                        proptest::prop_assert_eq!(
+                            s.count_value(phase, value),
+                            slot.scan_value_senders(value)
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -261,7 +261,11 @@ fn icv_matches(tag: &Digest, icv: &[u8]) -> bool {
 /// HMAC reads, so a cached tag is always *the* correct tag for that
 /// frame: comparing a received ICV against it is exactly as sound as
 /// recomputing (a forged ICV mismatches the true tag either way).
-type LinkTagKey = (u16, u16, Vec<u8>);
+/// The message bytes are held as a zero-copy [`Bytes`] handle: keying
+/// the pool used to copy every frame body (`inner.to_vec()`) on every
+/// wrap *and* every check; an `Arc`-backed slice keys the same content
+/// (same `Ord` as `Vec<u8>`) without the copy.
+type LinkTagKey = (u16, u16, Bytes);
 
 /// One simulation's pool of link HMAC tags, shared by every node the
 /// simulator hosts: the sender's wrap and each receiver's check of the
@@ -342,14 +346,16 @@ impl BrachaApp {
 
     /// The HMAC tag for `inner` on the link between this node and
     /// `peer`, via the simulation's shared tag pool: whichever endpoint
-    /// computes it first pays the hashing, the other side hits.
-    fn link_tag(&self, peer: usize, inner: &[u8]) -> Digest {
+    /// computes it first pays the hashing, the other side hits. The key
+    /// shares `inner`'s allocation — no per-lookup copy.
+    fn link_tag(&self, peer: usize, inner: &Bytes) -> Digest {
         let me = self.engine.id();
         let (lo, hi) = (me.min(peer) as u16, me.max(peer) as u16);
         let macs = &self.macs;
+        bytes::telemetry::count_saved(inner.len());
         self.link_tags
             .borrow_mut()
-            .lookup((lo, hi, inner.to_vec()), || macs[peer].mac(inner))
+            .lookup((lo, hi, inner.clone()), || macs[peer].mac(inner))
     }
 
     /// Installs an outgoing-message mutator (used by the Byzantine
@@ -402,7 +408,7 @@ impl Application for BrachaApp {
         for (peer, wrapped) in delivered {
             ctx.charge_cpu(self.cost.hmac(wrapped.len().saturating_sub(ICV_LEN)));
             let ok = wrapped.len() >= ICV_LEN && {
-                let expected = self.link_tag(peer, &wrapped[ICV_LEN..]);
+                let expected = self.link_tag(peer, &wrapped.slice(ICV_LEN..));
                 icv_matches(&expected, &wrapped[..ICV_LEN])
             };
             if !ok {
@@ -523,9 +529,11 @@ impl Application for AbbaApp {
                 self.probe.borrow_mut().rejected[self.engine.id()] += 1;
                 continue;
             };
-            let inner = inner.to_vec();
+            // `inner` borrows straight out of the delivered buffer; the
+            // engine parses it without an owned copy.
+            bytes::telemetry::count_saved(inner.len());
             self.probe.borrow_mut().accepted[self.engine.id()] += 1;
-            let out = self.engine.on_message(peer, &inner);
+            let out = self.engine.on_message(peer, inner);
             self.dispatch(ctx, out);
         }
     }

@@ -159,6 +159,7 @@ fn run_cell_rep(
 }
 
 fn main() {
+    turquois_harness::env_guard::warn_unknown_env_vars();
     let reps = reps_from_env(20);
     let sizes = sizes_from_env();
     let threads = runner::threads_from_env();

@@ -69,6 +69,7 @@ fn totals(rows: &[TableRow]) -> (HotpathTotals, u64, usize) {
 }
 
 fn main() {
+    turquois_harness::env_guard::warn_unknown_env_vars();
     let reps = reps_from_env(3);
     let sizes = if std::env::var_os("TURQUOIS_SIZES").is_some() {
         sizes_from_env()
@@ -110,12 +111,13 @@ fn main() {
         }
         eprintln!(
             "[hotpath] {label}: wall={wall_s:.3}s sha-blocks={} verifies={} \
-             cache-hits={} cache-misses={} bytes-copied={}",
+             cache-hits={} cache-misses={} bytes-copied={} bytes-saved={}",
             hotpath.sha_blocks,
             hotpath.verify_calls,
             hotpath.cache_hits,
             hotpath.cache_misses,
-            hotpath.bytes_copied
+            hotpath.bytes_copied,
+            hotpath.bytes_saved
         );
         passes.push(Pass {
             label,
@@ -214,7 +216,7 @@ fn write_hotpath_json(
         json.push_str(&format!(
             "    {{\"label\": \"{}\", \"wall_s\": {:.3}, \"sha_blocks\": {}, \
              \"verify_calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"hit_rate\": {:.4}, \"bytes_copied\": {}}}{}\n",
+             \"hit_rate\": {:.4}, \"bytes_copied\": {}, \"bytes_saved\": {}}}{}\n",
             p.label,
             p.wall_s,
             p.hotpath.sha_blocks,
@@ -223,6 +225,7 @@ fn write_hotpath_json(
             p.hotpath.cache_misses,
             p.hotpath.hit_rate(),
             p.hotpath.bytes_copied,
+            p.hotpath.bytes_saved,
             if i + 1 < passes.len() { "," } else { "" }
         ));
     }

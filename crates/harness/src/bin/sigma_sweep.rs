@@ -16,6 +16,7 @@ use turquois_harness::runner::{self, BenchRecord};
 use turquois_harness::*;
 
 fn main() {
+    turquois_harness::env_guard::warn_unknown_env_vars();
     let reps = reps_from_env(20);
     let threads = runner::threads_from_env();
     let n = 10;

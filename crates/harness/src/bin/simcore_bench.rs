@@ -1,0 +1,249 @@
+//! Event-engine benchmark: runs the same workloads under both queue
+//! engines — the legacy global `BinaryHeap` and the hierarchical timer
+//! wheel — in one process, asserts the engines are observationally
+//! identical, and writes the wall-clock comparison to
+//! `results/BENCH_simcore.json` (override: `TURQUOIS_SIMCORE_JSON`).
+//!
+//! Two workloads per engine:
+//!
+//! 1. **Paper grid** — a shrunk failure-free Table-1 grid. The rendered
+//!    tables and hot-path verify counts must be byte-for-byte and
+//!    count-for-count identical across engines (the wheel is a pure
+//!    data-structure swap; see DESIGN.md §9).
+//! 2. **Timer storm** ([`turquois_harness::simstress`]) — a deep
+//!    mixed-horizon timer population whose pending set grows over the
+//!    run. Total events processed must match *exactly* across engines;
+//!    the events/second ratio is the headline speedup.
+//!
+//! Usage: `simcore_bench [reps] [storm_ms]` (defaults: 3 grid
+//! repetitions, 300 ms of simulated storm per group size).
+//! `TURQUOIS_REPS`, `TURQUOIS_SIZES`, `TURQUOIS_THREADS`, and
+//! `TURQUOIS_TIME_LIMIT` shape the grid pass exactly as they do for
+//! `hotpath_bench`.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use turquois_harness::experiment::{
+    paper_table_supervised_with, render_table, reps_from_env, sizes_from_env, time_limit_from_env,
+    DEFAULT_TIME_LIMIT,
+};
+use turquois_harness::runner;
+use turquois_harness::simstress;
+use turquois_harness::FaultLoad;
+use wireless_net::queue::{set_legacy_queue, LEGACY_QUEUE_ENV};
+
+/// Key horizon for the grid pass (see `hotpath_bench` for rationale).
+const BENCH_KEY_PHASES: usize = 120;
+
+/// Group sizes for the storm pass.
+const STORM_SIZES: [usize; 3] = [4, 8, 16];
+
+/// Storm RNG seed (arbitrary; both engines must agree at any seed).
+const STORM_SEED: u64 = 42;
+
+/// One engine's measurements.
+struct EnginePass {
+    label: &'static str,
+    grid_wall_s: f64,
+    rendered: String,
+    verify_calls: u64,
+    /// Per storm size: (events processed, wall seconds).
+    storm: Vec<(u64, f64)>,
+}
+
+impl EnginePass {
+    fn storm_events(&self) -> u64 {
+        self.storm.iter().map(|(e, _)| e).sum()
+    }
+    fn storm_wall_s(&self) -> f64 {
+        self.storm.iter().map(|(_, w)| w).sum()
+    }
+    fn events_per_sec(&self) -> f64 {
+        self.storm_events() as f64 / self.storm_wall_s().max(1e-9)
+    }
+}
+
+fn main() {
+    turquois_harness::env_guard::warn_unknown_env_vars();
+    // argv[1] is the repetition count, consumed by `reps_from_env`
+    // exactly like the other experiment binaries; argv[2] is ours.
+    let storm_ms: u64 = std::env::args()
+        .nth(2)
+        .map(|a| a.parse().expect("storm_ms must be an integer"))
+        .unwrap_or(300);
+    let reps = reps_from_env(3);
+    let sizes = if std::env::var_os("TURQUOIS_SIZES").is_some() {
+        sizes_from_env()
+    } else {
+        vec![4, 7, 10]
+    };
+    let threads = runner::threads_from_env();
+    let limit = time_limit_from_env(DEFAULT_TIME_LIMIT);
+    let title = format!("Simcore bench — failure-free grid ({reps} repetitions)");
+
+    let mut passes: Vec<EnginePass> = Vec::new();
+    let mut unhealthy = false;
+    for (label, legacy) in [("legacy-heap", true), ("timer-wheel", false)] {
+        set_legacy_queue(legacy);
+
+        let start = Instant::now();
+        let (rows, health, _report) = paper_table_supervised_with(
+            FaultLoad::FailureFree,
+            &sizes,
+            reps,
+            threads,
+            limit,
+            None,
+            |s| s.key_phases(BENCH_KEY_PHASES),
+        );
+        let grid_wall_s = start.elapsed().as_secs_f64();
+        if !health.ok() {
+            health.log();
+            unhealthy = true;
+        }
+        let verify_calls = rows
+            .iter()
+            .flat_map(|row| row.cells.iter().flatten())
+            .map(|cell| cell.hotpath.verify_calls)
+            .sum();
+
+        let mut storm = Vec::new();
+        for &n in &STORM_SIZES {
+            let start = Instant::now();
+            let events = simstress::run_storm(n, STORM_SEED, storm_ms);
+            let wall = start.elapsed().as_secs_f64();
+            eprintln!(
+                "[simcore] {label} storm n={n}: {events} events in {wall:.3}s \
+                 ({:.0} events/s)",
+                events as f64 / wall.max(1e-9)
+            );
+            storm.push((events, wall));
+        }
+
+        eprintln!(
+            "[simcore] {label}: grid wall={grid_wall_s:.3}s verifies={verify_calls} \
+             storm events={} storm wall={:.3}s",
+            storm.iter().map(|(e, _)| e).sum::<u64>(),
+            storm.iter().map(|(_, w)| w).sum::<f64>()
+        );
+        passes.push(EnginePass {
+            label,
+            grid_wall_s,
+            rendered: render_table(&title, &rows),
+            verify_calls,
+            storm,
+        });
+    }
+    // Leave the engine selection the way the environment asked for.
+    set_legacy_queue(std::env::var_os(LEGACY_QUEUE_ENV).is_some_and(|v| !v.is_empty()));
+
+    let (legacy, wheel) = (&passes[0], &passes[1]);
+    assert_eq!(
+        legacy.rendered, wheel.rendered,
+        "queue engine changed the rendered table — it must be invisible to simulated results"
+    );
+    assert_eq!(
+        legacy.verify_calls, wheel.verify_calls,
+        "queue engine changed hot-path verify counts"
+    );
+    for (i, &n) in STORM_SIZES.iter().enumerate() {
+        assert_eq!(
+            legacy.storm[i].0, wheel.storm[i].0,
+            "queue engine changed the storm event count at n={n}"
+        );
+    }
+
+    let speedup = wheel.events_per_sec() / legacy.events_per_sec().max(1e-9);
+    println!("{}", wheel.rendered);
+    println!(
+        "simcore: timer-wheel speedup {speedup:.2}x on the storm workload \
+         ({:.0} -> {:.0} events/s over {} events), grid wall-clock {:.3}s -> {:.3}s",
+        legacy.events_per_sec(),
+        wheel.events_per_sec(),
+        wheel.storm_events(),
+        legacy.grid_wall_s,
+        wheel.grid_wall_s
+    );
+    if speedup < 1.5 {
+        eprintln!(
+            "warning: timer-wheel speedup {speedup:.2}x is below the 1.5x target \
+             (storm horizon may be too short for the pending set to grow)"
+        );
+    }
+
+    if let Some(path) = write_simcore_json(&sizes, reps, storm_ms, &passes, speedup) {
+        eprintln!("[simcore] wrote {}", path.display());
+    }
+    if unhealthy {
+        std::process::exit(1);
+    }
+}
+
+/// Writes `results/BENCH_simcore.json` (or `$TURQUOIS_SIMCORE_JSON`).
+/// I/O failures warn on stderr instead of aborting — telemetry must
+/// never kill a benchmark that already ran.
+fn write_simcore_json(
+    sizes: &[usize],
+    reps: usize,
+    storm_ms: u64,
+    passes: &[EnginePass],
+    speedup: f64,
+) -> Option<PathBuf> {
+    let path = std::env::var_os("TURQUOIS_SIMCORE_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new("results").join("BENCH_simcore.json"));
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+                return None;
+            }
+        }
+    }
+    let join = |v: &[String]| v.join(", ");
+    let sizes_json: Vec<String> = sizes.iter().map(|n| n.to_string()).collect();
+    let storm_sizes_json: Vec<String> = STORM_SIZES.iter().map(|n| n.to_string()).collect();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bin\": \"simcore_bench\",\n");
+    json.push_str(&format!("  \"grid_sizes\": [{}],\n", join(&sizes_json)));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"storm_sizes\": [{}],\n",
+        join(&storm_sizes_json)
+    ));
+    json.push_str(&format!("  \"storm_ms\": {storm_ms},\n"));
+    json.push_str("  \"tables_byte_identical\": true,\n");
+    json.push_str("  \"event_counts_identical\": true,\n");
+    json.push_str("  \"passes\": [\n");
+    for (i, p) in passes.iter().enumerate() {
+        let storm_json: Vec<String> = p
+            .storm
+            .iter()
+            .zip(STORM_SIZES)
+            .map(|((events, wall), n)| {
+                format!("{{\"n\": {n}, \"events\": {events}, \"wall_s\": {wall:.3}}}")
+            })
+            .collect();
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"grid_wall_s\": {:.3}, \"verify_calls\": {}, \
+             \"storm\": [{}], \"events_per_sec\": {:.0}}}{}\n",
+            p.label,
+            p.grid_wall_s,
+            p.verify_calls,
+            join(&storm_json),
+            p.events_per_sec(),
+            if i + 1 < passes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"storm_speedup\": {speedup:.2}\n"));
+    json.push_str("}\n");
+    match std::fs::write(&path, json) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}

@@ -19,6 +19,7 @@ use turquois_harness::runner::{self, BenchRecord};
 use turquois_harness::FaultLoad;
 
 fn main() {
+    turquois_harness::env_guard::warn_unknown_env_vars();
     let reps = reps_from_env(50);
     let sizes = sizes_from_env();
     let threads = runner::threads_from_env();

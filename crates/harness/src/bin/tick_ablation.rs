@@ -22,6 +22,7 @@ use wireless_net::sim::{Application, SimConfig, Simulator};
 use wireless_net::time::SimTime;
 
 fn main() {
+    turquois_harness::env_guard::warn_unknown_env_vars();
     let reps = reps_from_env(15);
     let threads = runner::threads_from_env();
     let n = 7;

@@ -1,0 +1,74 @@
+//! Typo guard for `TURQUOIS_*` environment knobs.
+//!
+//! Every experiment binary calls [`warn_unknown_env_vars`] at startup.
+//! A misspelled knob (`TURQUOIS_REPETITIONS`, `TURQUOIS_SIZE`, …) is
+//! silently ignored by `std::env::var` lookups, which turns a typo into
+//! a full-length default run — expensive and confusing. The guard
+//! prints one stderr warning per unrecognized `TURQUOIS_`-prefixed
+//! variable instead; it never aborts, because an unknown variable may
+//! belong to a newer or older build of the same binaries.
+
+/// Every `TURQUOIS_*` variable some binary or test in this workspace
+/// reads. Keep in sync when adding a knob; the
+/// `known_list_matches_source` test greps the workspace to enforce it.
+pub const KNOWN_ENV_VARS: &[&str] = &[
+    "TURQUOIS_BENCH_JSON",
+    "TURQUOIS_CHECK_SCHEDULES",
+    "TURQUOIS_FM_FORCE_STALL",
+    "TURQUOIS_HOTPATH_JSON",
+    "TURQUOIS_HOTPATH_STATS",
+    "TURQUOIS_LEGACY_QUEUE",
+    "TURQUOIS_NO_MEMO",
+    "TURQUOIS_REPS",
+    "TURQUOIS_SABOTAGE",
+    "TURQUOIS_SIMCORE_JSON",
+    "TURQUOIS_SIZES",
+    "TURQUOIS_THREADS",
+    "TURQUOIS_TIME_LIMIT",
+];
+
+/// Warns on stderr about any `TURQUOIS_*` environment variable that no
+/// binary in this workspace reads, and returns the offending names.
+/// Call once at the top of each experiment binary's `main`.
+pub fn warn_unknown_env_vars() -> Vec<String> {
+    let mut unknown: Vec<String> = std::env::vars_os()
+        .filter_map(|(k, _)| k.into_string().ok())
+        .filter(|k| k.starts_with("TURQUOIS_") && !KNOWN_ENV_VARS.contains(&k.as_str()))
+        .collect();
+    unknown.sort();
+    for name in &unknown {
+        eprintln!(
+            "warning: unrecognized environment variable {name} is ignored \
+             (known TURQUOIS_* knobs: {})",
+            KNOWN_ENV_VARS.join(", ")
+        );
+    }
+    unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_typos_and_accepts_known_knobs() {
+        // Set-and-inspect in one test: env mutation is process-global,
+        // so keep every case in a single #[test] to avoid races with
+        // parallel test threads touching TURQUOIS_* variables.
+        std::env::set_var("TURQUOIS_REPETITIONS", "50");
+        std::env::set_var("TURQUOIS_REPS", "2");
+        let unknown = warn_unknown_env_vars();
+        std::env::remove_var("TURQUOIS_REPETITIONS");
+        std::env::remove_var("TURQUOIS_REPS");
+        assert!(unknown.contains(&"TURQUOIS_REPETITIONS".to_string()));
+        assert!(!unknown.contains(&"TURQUOIS_REPS".to_string()));
+    }
+
+    #[test]
+    fn known_list_is_sorted_and_deduped() {
+        let mut sorted = KNOWN_ENV_VARS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, KNOWN_ENV_VARS, "keep KNOWN_ENV_VARS sorted");
+    }
+}

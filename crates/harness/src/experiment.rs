@@ -39,6 +39,9 @@ pub struct HotpathTotals {
     pub cache_misses: u64,
     /// Payload bytes physically copied constructing `Bytes` buffers.
     pub bytes_copied: u64,
+    /// Payload bytes the zero-copy receive path handed on by reference
+    /// instead of copying (each count is a copy the legacy path made).
+    pub bytes_saved: u64,
 }
 
 impl HotpathTotals {
@@ -49,6 +52,7 @@ impl HotpathTotals {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.bytes_copied += other.bytes_copied;
+        self.bytes_saved += other.bytes_saved;
     }
 
     /// Cache hit rate in `[0, 1]` (0 when no lookups happened).
@@ -68,6 +72,7 @@ impl HotpathTotals {
 fn with_hotpath<T>(f: impl FnOnce() -> T) -> (T, HotpathTotals) {
     let crypto_before = HotpathSnapshot::now();
     let copied_before = bytes::telemetry::bytes_copied();
+    let saved_before = bytes::telemetry::bytes_saved();
     let out = f();
     let d = HotpathSnapshot::now().delta_since(&crypto_before);
     let hotpath = HotpathTotals {
@@ -76,6 +81,7 @@ fn with_hotpath<T>(f: impl FnOnce() -> T) -> (T, HotpathTotals) {
         cache_hits: d.cache_hits,
         cache_misses: d.cache_misses,
         bytes_copied: bytes::telemetry::bytes_copied().saturating_sub(copied_before),
+        bytes_saved: bytes::telemetry::bytes_saved().saturating_sub(saved_before),
     };
     (out, hotpath)
 }
@@ -540,13 +546,14 @@ pub fn table_stats_line(rows: &[TableRow]) -> String {
     if hotpath_stats_enabled() {
         line.push_str(&format!(
             " | hotpath: sha-blocks={} verifies={} cache-hits={} cache-misses={} \
-             hit-rate={:.1}% bytes-copied={}",
+             hit-rate={:.1}% bytes-copied={} bytes-saved={}",
             hotpath.sha_blocks,
             hotpath.verify_calls,
             hotpath.cache_hits,
             hotpath.cache_misses,
             100.0 * hotpath.hit_rate(),
-            hotpath.bytes_copied
+            hotpath.bytes_copied,
+            hotpath.bytes_saved
         ));
     }
     line

@@ -26,9 +26,11 @@
 
 pub mod adapters;
 pub mod adversary;
+pub mod env_guard;
 pub mod experiment;
 pub mod runner;
 pub mod scenario;
+pub mod simstress;
 pub mod stats;
 
 pub use scenario::{

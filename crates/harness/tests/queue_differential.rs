@@ -1,0 +1,55 @@
+//! CI differential smoke: the event-queue engine must be invisible to
+//! every simulated result. Runs the `table1` binary twice on a shrunk
+//! grid — once on the legacy global binary heap via
+//! `TURQUOIS_LEGACY_QUEUE=1`, once on the default timer wheel — and
+//! asserts the stdout bytes are identical. Any divergence means the
+//! wheel reordered events relative to the `(at, seq)` contract (see
+//! DESIGN.md §9 and `wireless_net::queue`).
+
+use std::process::Command;
+
+/// Runs the `table1` binary on a shrunk grid with the given queue
+/// engine and returns its stdout.
+fn run_table1(legacy_queue: bool) -> Vec<u8> {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_table1"));
+    cmd.env("TURQUOIS_SIZES", "4,7")
+        .env("TURQUOIS_REPS", "2")
+        .env("TURQUOIS_TIME_LIMIT", "120")
+        // Keep the child's host-timing JSON out of the source tree.
+        .env(
+            "TURQUOIS_BENCH_JSON",
+            std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("BENCH_queue_differential.json"),
+        )
+        // The hotpath stats line aggregates host-side counters; keep it
+        // off (as it is by default) for byte comparison.
+        .env_remove("TURQUOIS_HOTPATH_STATS");
+    if legacy_queue {
+        cmd.env("TURQUOIS_LEGACY_QUEUE", "1");
+    } else {
+        cmd.env_remove("TURQUOIS_LEGACY_QUEUE");
+    }
+    let out = cmd.output().expect("table1 runs");
+    assert!(
+        out.status.success(),
+        "table1 (legacy_queue={legacy_queue}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn table1_output_is_byte_identical_across_queue_engines() {
+    let legacy = run_table1(true);
+    let wheel = run_table1(false);
+    assert!(
+        !wheel.is_empty(),
+        "table1 produced no output — smoke setup is broken"
+    );
+    assert_eq!(
+        legacy,
+        wheel,
+        "queue engine changed table1's stdout:\n--- legacy heap ---\n{}\n--- timer wheel ---\n{}",
+        String::from_utf8_lossy(&legacy),
+        String::from_utf8_lossy(&wheel)
+    );
+}

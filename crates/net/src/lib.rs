@@ -60,6 +60,7 @@ pub mod config;
 pub mod fault;
 pub mod frame;
 pub mod medium;
+pub mod queue;
 pub mod reliable;
 pub mod sim;
 pub mod stats;

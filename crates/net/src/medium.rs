@@ -195,11 +195,25 @@ impl Medium {
     ///
     /// Panics if no transmission is in flight.
     pub fn finish_tx(&mut self, now: SimTime) -> Vec<CompletedTx> {
+        let mut done = Vec::new();
+        self.finish_tx_into(now, &mut done);
+        done
+    }
+
+    /// [`Medium::finish_tx`] into a caller-provided buffer (cleared
+    /// first), so the event loop can reuse one allocation across
+    /// transmissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transmission is in flight.
+    pub fn finish_tx_into(&mut self, now: SimTime, done: &mut Vec<CompletedTx>) {
         let fl = self.in_flight.take().expect("finish_tx with no tx in flight");
         debug_assert_eq!(now, fl.end, "TxEnd event at the wrong time");
         self.free_at = fl.end;
         let collision = fl.txs.len() > 1;
-        let mut done = Vec::with_capacity(fl.txs.len());
+        done.clear();
+        done.reserve(fl.txs.len());
         for (node, pending) in fl.txs {
             done.push(CompletedTx {
                 node,
@@ -209,7 +223,6 @@ impl Medium {
             });
         }
         self.epoch += 1;
-        done
     }
 
     /// Time the channel was busy in the transmission reported by the last

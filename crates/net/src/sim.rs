@@ -13,7 +13,8 @@
 
 use crate::fault::{CrashSchedule, CrashSpec, CrashTrigger, DeliveryCtx, FaultModel, NoFaults};
 use crate::frame::{Addressing, Frame, NodeId, ReceivedFrame};
-use crate::medium::Medium;
+use crate::medium::{CompletedTx, Medium};
+use crate::queue::EventQueue;
 use crate::stats::NetStats;
 use crate::supervise::{AppProgress, NodeProgress, StallReport};
 use crate::time::SimTime;
@@ -21,8 +22,6 @@ use crate::trace::{Trace, TraceEvent};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::time::Duration;
 
 /// A protocol running on one simulated node.
@@ -183,29 +182,6 @@ enum EventKind {
     Rejoin(NodeId),
 }
 
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// Simulator configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -248,8 +224,14 @@ pub enum RunStatus {
 pub struct Simulator {
     cfg: SimConfig,
     time: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Reverse<Event>>,
+    /// Pending events, ordered by `(at, seq)`; sequence numbers are
+    /// assigned by the queue in push order (see [`crate::queue`]).
+    queue: EventQueue<EventKind>,
+    /// Recycled command buffer handed to each [`NodeCtx`], so steady-state
+    /// dispatch allocates nothing.
+    cmd_pool: Vec<Command>,
+    /// Recycled buffer for [`Medium::finish_tx_into`].
+    tx_buf: Vec<CompletedTx>,
     apps: Vec<Box<dyn Application>>,
     node_rngs: Vec<StdRng>,
     busy_until: Vec<SimTime>,
@@ -288,8 +270,9 @@ impl Simulator {
         let mac_rng = StdRng::seed_from_u64(boot_rng.gen());
         let mut sim = Simulator {
             time: SimTime::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
+            cmd_pool: Vec::new(),
+            tx_buf: Vec::new(),
             node_rngs,
             busy_until: vec![SimTime::ZERO; n],
             started: vec![false; n],
@@ -375,12 +358,14 @@ impl Simulator {
 
     /// Processes a single event. Returns `false` if the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((at_nanos, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.time, "time must be monotonic");
-        self.time = ev.at;
-        match ev.kind {
+        let at = SimTime::from_nanos(at_nanos);
+        debug_assert!(at >= self.time, "time must be monotonic");
+        self.time = at;
+        self.stats.events_processed += 1;
+        match kind {
             EventKind::Start(node) => {
                 if self.crash_down[node] {
                     // Crashed before its jittered start; a rejoin will
@@ -398,7 +383,7 @@ impl Simulator {
                 }
                 self.dispatch_gated(
                     node,
-                    ev.at,
+                    at,
                     EventKind::Timer { node, id, epoch },
                     |app, ctx| app.on_timer(ctx, id),
                 );
@@ -406,7 +391,7 @@ impl Simulator {
             EventKind::Deliver { node, frame } => {
                 if self.crash_down[node] {
                     self.stats.crash_drops += 1;
-                } else if self.busy_until[node] > ev.at {
+                } else if self.busy_until[node] > at {
                     // Defer to when the node's CPU is free.
                     let at = self.busy_until[node];
                     self.push(at, EventKind::Deliver { node, frame });
@@ -430,14 +415,14 @@ impl Simulator {
                 self.reschedule_contention();
             }
             EventKind::ContentionResolve { epoch } => {
-                if let Some(end) = self.medium.resolve(ev.at, epoch) {
+                if let Some(end) = self.medium.resolve(at, epoch) {
                     self.push(end, EventKind::TxEnd);
                 }
                 // Stale events need no rescheduling: whatever bumped the
                 // epoch also rescheduled.
             }
             EventKind::TxEnd => {
-                self.handle_tx_end(ev.at);
+                self.handle_tx_end(at);
             }
             EventKind::MacFailure { node, dst, payload } => {
                 if !self.crash_down[node] {
@@ -467,9 +452,9 @@ impl Simulator {
             if pred(self) {
                 return RunStatus::Satisfied;
             }
-            match self.queue.peek() {
+            match self.queue.peek_at() {
                 None => return RunStatus::Quiescent,
-                Some(Reverse(ev)) if ev.at > limit => return RunStatus::TimeLimit,
+                Some(at) if SimTime::from_nanos(at) > limit => return RunStatus::TimeLimit,
                 Some(_) => {
                     self.step();
                 }
@@ -618,9 +603,7 @@ impl Simulator {
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, kind }));
+        self.queue.push(at.as_nanos(), kind);
     }
 
     /// Dispatches a callback, deferring the whole event if the node's CPU
@@ -651,7 +634,7 @@ impl Simulator {
             node,
             now: start,
             charged: Duration::ZERO,
-            commands: Vec::new(),
+            commands: std::mem::take(&mut self.cmd_pool),
             rng: &mut self.node_rngs[node],
         };
         let mut app: Box<dyn Application> =
@@ -659,12 +642,16 @@ impl Simulator {
         run(app.as_mut(), &mut ctx);
         self.apps[node] = app;
         let done = start + ctx.charged;
-        let commands = std::mem::take(&mut ctx.commands);
+        let mut commands = std::mem::take(&mut ctx.commands);
         drop(ctx);
         self.busy_until[node] = done;
-        for cmd in commands {
+        for cmd in commands.drain(..) {
             self.apply_command(node, done, cmd);
         }
+        // Return the (now empty) buffer so the next dispatch reuses its
+        // capacity. `apply_command` never dispatches recursively, so the
+        // pool is always free here.
+        self.cmd_pool = commands;
         self.poll_progress(node);
     }
 
@@ -764,7 +751,10 @@ impl Simulator {
     }
 
     fn handle_tx_end(&mut self, now: SimTime) {
-        let completed = self.medium.finish_tx(now);
+        // Reuse the completed-transmission buffer across TxEnd events;
+        // `finish_tx_into` clears it before filling.
+        let mut completed = std::mem::take(&mut self.tx_buf);
+        self.medium.finish_tx_into(now, &mut completed);
         self.stats.channel_busy += self.medium.last_busy();
         if !self.trace.is_disabled() {
             if completed.len() > 1 {
@@ -787,7 +777,7 @@ impl Simulator {
             }
         }
         let prop = self.cfg.phy.propagation;
-        for tx in completed {
+        for tx in completed.drain(..) {
             if self.crash_down[tx.node] {
                 // The transmitter died mid-frame: nothing intelligible
                 // reaches any receiver (its queue is already empty, so
@@ -889,6 +879,7 @@ impl Simulator {
                 }
             }
         }
+        self.tx_buf = completed;
         self.reschedule_contention();
     }
 
@@ -925,7 +916,7 @@ mod tests {
     /// Broadcasts one message at start; records everything it receives.
     struct Chatter {
         sent: bool,
-        received: Shared<Vec<(NodeId, Vec<u8>)>>,
+        received: Shared<Vec<(NodeId, Bytes)>>,
     }
 
     impl Application for Chatter {
@@ -940,13 +931,13 @@ mod tests {
             self.received
                 .0
                 .borrow_mut()
-                .push((frame.src, frame.payload.to_vec()));
+                .push((frame.src, frame.payload.clone()));
         }
         fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: u64) {}
     }
 
-    fn chatter_sim(n: usize, seed: u64) -> (Simulator, Vec<Shared<Vec<(NodeId, Vec<u8>)>>>) {
-        let cells: Vec<_> = (0..n).map(|_| Shared::<Vec<(NodeId, Vec<u8>)>>::new()).collect();
+    fn chatter_sim(n: usize, seed: u64) -> (Simulator, Vec<Shared<Vec<(NodeId, Bytes)>>>) {
+        let cells: Vec<_> = (0..n).map(|_| Shared::<Vec<(NodeId, Bytes)>>::new()).collect();
         let apps: Vec<Box<dyn Application>> = cells
             .iter()
             .map(|c| {
@@ -1190,7 +1181,7 @@ mod tests {
     fn trace_captures_network_events() {
         let (cells, apps): (Vec<_>, Vec<Box<dyn Application>>) = (0..2)
             .map(|_| {
-                let cell = Shared::<Vec<(NodeId, Vec<u8>)>>::new();
+                let cell = Shared::<Vec<(NodeId, Bytes)>>::new();
                 let app = Box::new(Chatter {
                     sent: false,
                     received: cell.clone(),
@@ -1216,7 +1207,7 @@ mod tests {
     fn trace_disabled_by_default() {
         let apps: Vec<Box<dyn Application>> = vec![Box::new(Chatter {
             sent: false,
-            received: Shared::<Vec<(NodeId, Vec<u8>)>>::new(),
+            received: Shared::<Vec<(NodeId, Bytes)>>::new(),
         })];
         let mut sim = Simulator::without_faults(SimConfig::default(), apps);
         sim.run_until(SimTime::from_millis(50), |_| false);

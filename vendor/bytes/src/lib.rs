@@ -36,6 +36,7 @@ pub mod telemetry {
 
     thread_local! {
         static COPIED: Cell<u64> = const { Cell::new(0) };
+        static SAVED: Cell<u64> = const { Cell::new(0) };
     }
 
     pub(crate) fn count_copied(bytes: usize) {
@@ -47,6 +48,20 @@ pub mod telemetry {
     /// to attribute copies to an interval.
     pub fn bytes_copied() -> u64 {
         COPIED.with(Cell::get)
+    }
+
+    /// Records `bytes` of copying *avoided* at a call site that used to
+    /// materialise an owned buffer and now passes a zero-copy handle.
+    /// Instrumented call sites declare the saving explicitly; nothing
+    /// is counted automatically.
+    pub fn count_saved(bytes: usize) {
+        SAVED.with(|c| c.set(c.get() + bytes as u64));
+    }
+
+    /// Total bytes of copying this thread has avoided (per
+    /// [`count_saved`]). Monotone, like [`bytes_copied`].
+    pub fn bytes_saved() -> u64 {
+        SAVED.with(Cell::get)
     }
 }
 
@@ -225,6 +240,21 @@ impl PartialEq<Vec<u8>> for Bytes {
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
         self[..].hash(state)
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lexicographic over the viewed slice, consistent with `Eq`/`Hash`
+/// (and with `Vec<u8>`/`&[u8]` ordering), so `Bytes` can key ordered
+/// maps such as `MemoCache`.
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
     }
 }
 
