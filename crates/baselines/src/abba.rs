@@ -468,9 +468,80 @@ pub struct AbbaOutput {
     pub ops: CryptoOps,
 }
 
-#[derive(Debug, Default)]
+/// One round's per-party vote table, in one of two interchangeable
+/// layouts (selected by `TURQUOIS_LEGACY_STORE`; see [`crate::gate`]).
+/// Share-collection iterates in table order — hash-map order for the
+/// legacy layout, ascending party for the compact one — which is safe
+/// because threshold `combine` is order-insensitive (it verifies a
+/// *set* of shares and emits a MAC over the statement alone).
+#[derive(Debug)]
+enum VoteTable<V> {
+    /// The original party→vote hash map, retained as the differential
+    /// oracle.
+    Legacy(HashMap<usize, V>),
+    /// Dense party-indexed table grown on demand (party ids are dense
+    /// `0..n`).
+    Compact(Vec<Option<V>>),
+}
+
+impl<V> VoteTable<V> {
+    fn with_legacy(legacy: bool) -> Self {
+        if legacy {
+            VoteTable::Legacy(HashMap::new())
+        } else {
+            VoteTable::Compact(Vec::new())
+        }
+    }
+
+    /// First-wins insert; returns `true` if `from` was new.
+    fn record(&mut self, from: usize, vote: V) -> bool {
+        match self {
+            VoteTable::Legacy(map) => {
+                if let std::collections::hash_map::Entry::Vacant(e) = map.entry(from) {
+                    e.insert(vote);
+                    true
+                } else {
+                    false
+                }
+            }
+            VoteTable::Compact(table) => {
+                if table.len() <= from {
+                    table.resize_with(from + 1, || None);
+                }
+                if table[from].is_none() {
+                    table[from] = Some(vote);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Recorded votes (layout-dependent order; callers must be
+    /// order-insensitive).
+    fn values(&self) -> Box<dyn Iterator<Item = &V> + '_> {
+        match self {
+            VoteTable::Legacy(map) => Box::new(map.values()),
+            VoteTable::Compact(table) => Box::new(table.iter().flatten()),
+        }
+    }
+
+    /// Number of recorded votes (scan; the rounds keep an incremental
+    /// total and use this as the debug oracle).
+    fn scan_len(&self) -> usize {
+        match self {
+            VoteTable::Legacy(map) => map.len(),
+            VoteTable::Compact(table) => table.iter().flatten().count(),
+        }
+    }
+}
+
+#[derive(Debug)]
 struct PreVoteRound {
-    votes: HashMap<usize, (bool, SigShare)>,
+    votes: VoteTable<(bool, SigShare)>,
+    /// Distinct parties recorded (replaces the retired `votes.len()`).
+    total: usize,
     /// Incremental distinct-sender tallies over `votes` (`[0]` = votes
     /// for `false`, `[1]` = for `true`), so the unanimity check in
     /// `try_progress` is O(1) instead of a rescan.
@@ -479,14 +550,38 @@ struct PreVoteRound {
     example: [Option<EmbeddedPreVote>; 2],
 }
 
+impl Default for PreVoteRound {
+    fn default() -> Self {
+        PreVoteRound::with_legacy(crate::gate::legacy_store_enabled())
+    }
+}
+
 impl PreVoteRound {
+    /// Creates an empty round with an explicit layout choice (used by
+    /// differential tests to exercise both layouts in one process).
+    fn with_legacy(legacy: bool) -> Self {
+        PreVoteRound {
+            votes: VoteTable::with_legacy(legacy),
+            total: 0,
+            value_counts: [0; 2],
+            fired: false,
+            example: [None, None],
+        }
+    }
+
     /// Records `from`'s pre-vote if it is the first accepted from that
     /// party this round (first value wins).
     fn record(&mut self, from: usize, value: bool, share: SigShare) {
-        if let std::collections::hash_map::Entry::Vacant(e) = self.votes.entry(from) {
-            e.insert((value, share));
+        if self.votes.record(from, (value, share)) {
+            self.total += 1;
             self.value_counts[value as usize] += 1;
         }
+    }
+
+    /// Distinct parties recorded this round. O(1).
+    fn len(&self) -> usize {
+        debug_assert_eq!(self.total, self.votes.scan_len());
+        self.total
     }
 
     /// Parties whose recorded pre-vote equals `value`. O(1).
@@ -511,9 +606,11 @@ fn mv_idx(value: MainVoteValue) -> usize {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct MainVoteRound {
-    votes: HashMap<usize, (MainVoteValue, SigShare)>,
+    votes: VoteTable<(MainVoteValue, SigShare)>,
+    /// Distinct parties recorded (replaces the retired `votes.len()`).
+    total: usize,
     /// Incremental distinct-sender tallies over `votes`, indexed by
     /// [`mv_idx`]; backs the O(1) binary/unanimity checks in
     /// `try_progress`.
@@ -521,14 +618,37 @@ struct MainVoteRound {
     fired: bool,
 }
 
+impl Default for MainVoteRound {
+    fn default() -> Self {
+        MainVoteRound::with_legacy(crate::gate::legacy_store_enabled())
+    }
+}
+
 impl MainVoteRound {
+    /// Creates an empty round with an explicit layout choice (used by
+    /// differential tests to exercise both layouts in one process).
+    fn with_legacy(legacy: bool) -> Self {
+        MainVoteRound {
+            votes: VoteTable::with_legacy(legacy),
+            total: 0,
+            value_counts: [0; 3],
+            fired: false,
+        }
+    }
+
     /// Records `from`'s main-vote if it is the first accepted from that
     /// party this round (first value wins).
     fn record(&mut self, from: usize, value: MainVoteValue, share: SigShare) {
-        if let std::collections::hash_map::Entry::Vacant(e) = self.votes.entry(from) {
-            e.insert((value, share));
+        if self.votes.record(from, (value, share)) {
+            self.total += 1;
             self.value_counts[mv_idx(value)] += 1;
         }
+    }
+
+    /// Distinct parties recorded this round. O(1).
+    fn len(&self) -> usize {
+        debug_assert_eq!(self.total, self.votes.scan_len());
+        self.total
     }
 
     /// Parties whose recorded main-vote equals `value`. O(1).
@@ -684,6 +804,21 @@ impl Abba {
     /// The decision, once reached.
     pub fn decision(&self) -> Option<bool> {
         self.decision
+    }
+
+    /// Deterministic estimate of the engine's consensus-store footprint
+    /// in bytes: 64 per live pre/main round plus 40 per recorded vote,
+    /// coin share, and deposited hard signature (a share is a party id
+    /// plus a 32-byte tag). Reads the O(1) per-round totals (the round
+    /// maps hold a GC-bounded handful of entries), depends on logical
+    /// content only, and is identical in both vote-table layouts.
+    /// Excludes the verification memo cache (a host-side accelerator).
+    pub fn store_bytes(&self) -> usize {
+        let pre: usize = self.pre.values().map(|pr| pr.total).sum();
+        let main: usize = self.main.values().map(|mr| mr.total).sum();
+        let coins: usize = self.coin_shares.values().map(HashMap::len).sum();
+        (self.pre.len() + self.main.len()) * 64
+            + 40 * (pre + main + coins + self.hard_sigs.len())
     }
 
     /// Starts the protocol: round-1 pre-vote for the proposal.
@@ -865,7 +1000,7 @@ impl Abba {
             // Pre-vote quorum → main-vote.
             let pre_fire = {
                 let pr = self.pre.entry(round).or_default();
-                if !pr.fired && pr.votes.len() >= need {
+                if !pr.fired && pr.len() >= need {
                     pr.fired = true;
                     // O(1) unanimity from the incremental tallies; only
                     // the data the follow-up needs leaves the borrow (no
@@ -924,7 +1059,7 @@ impl Abba {
             // Main-vote quorum → decide / next round's pre-vote.
             let main_fire = {
                 let mr = self.main.entry(round).or_default();
-                if !mr.fired && mr.votes.len() >= need {
+                if !mr.fired && mr.len() >= need {
                     mr.fired = true;
                     // Copy the O(1) tallies out of the borrow; the
                     // abstain shares are only materialised when no
@@ -1281,7 +1416,9 @@ mod tests {
         /// Pre-vote and main-vote incremental tallies vs. the retired
         /// scan oracle under arbitrary interleavings of records
         /// (duplicate parties keep their first value) and the engine's
-        /// whole-round GC.
+        /// whole-round GC — run against both vote-table layouts, which
+        /// must also agree with each other on every count and on the
+        /// multiset of collected shares.
         #[test]
         fn vote_round_tallies_match_scan_oracle(
             ops in proptest::collection::vec(
@@ -1292,29 +1429,56 @@ mod tests {
         ) {
             let share = |party: usize| SigShare {
                 party,
-                tag: turquois_crypto::sha256::Digest([0u8; turquois_crypto::sha256::DIGEST_LEN]),
+                tag: turquois_crypto::sha256::Digest([party as u8; turquois_crypto::sha256::DIGEST_LEN]),
             };
-            let mut pre: HashMap<u32, PreVoteRound> = HashMap::new();
-            let mut main: HashMap<u32, MainVoteRound> = HashMap::new();
+            let mut pre: [HashMap<u32, PreVoteRound>; 2] = [HashMap::new(), HashMap::new()];
+            let mut main: [HashMap<u32, MainVoteRound>; 2] = [HashMap::new(), HashMap::new()];
             for (round, party, v, gc) in ops {
                 if gc == 0 {
                     // The engine's GC drops whole rounds below a floor.
-                    pre.retain(|&r, _| r >= round);
-                    main.retain(|&r, _| r >= round);
+                    for m in &mut pre {
+                        m.retain(|&r, _| r >= round);
+                    }
+                    for m in &mut main {
+                        m.retain(|&r, _| r >= round);
+                    }
                 } else {
-                    pre.entry(round).or_default().record(party, v % 2 == 1, share(party));
-                    let mv = [MainVoteValue::Zero, MainVoteValue::One, MainVoteValue::Abstain]
-                        [v as usize];
-                    main.entry(round).or_default().record(party, mv, share(party));
-                }
-                for pr in pre.values() {
-                    for value in [false, true] {
-                        proptest::prop_assert_eq!(pr.count(value), pr.scan_count(value));
+                    for (i, legacy) in [false, true].into_iter().enumerate() {
+                        pre[i]
+                            .entry(round)
+                            .or_insert_with(|| PreVoteRound::with_legacy(legacy))
+                            .record(party, v % 2 == 1, share(party));
+                        let mv = [MainVoteValue::Zero, MainVoteValue::One, MainVoteValue::Abstain]
+                            [v as usize];
+                        main[i]
+                            .entry(round)
+                            .or_insert_with(|| MainVoteRound::with_legacy(legacy))
+                            .record(party, mv, share(party));
                     }
                 }
-                for mr in main.values() {
+                for (&round, pr) in &pre[0] {
+                    let lpr = &pre[1][&round];
+                    proptest::prop_assert_eq!(pr.len(), lpr.len());
+                    // Same vote *set* regardless of iteration order
+                    // (combine downstream is order-insensitive).
+                    let mut a: Vec<_> = pr.votes.values().cloned().collect();
+                    let mut b: Vec<_> = lpr.votes.values().cloned().collect();
+                    a.sort_by_key(|(_, s)| s.party);
+                    b.sort_by_key(|(_, s)| s.party);
+                    proptest::prop_assert_eq!(a, b);
+                    for value in [false, true] {
+                        proptest::prop_assert_eq!(pr.count(value), pr.scan_count(value));
+                        proptest::prop_assert_eq!(pr.count(value), lpr.count(value));
+                        proptest::prop_assert_eq!(lpr.count(value), lpr.scan_count(value));
+                    }
+                }
+                for (&round, mr) in &main[0] {
+                    let lmr = &main[1][&round];
+                    proptest::prop_assert_eq!(mr.len(), lmr.len());
                     for value in [MainVoteValue::Zero, MainVoteValue::One, MainVoteValue::Abstain] {
                         proptest::prop_assert_eq!(mr.count(value), mr.scan_count(value));
+                        proptest::prop_assert_eq!(mr.count(value), lmr.count(value));
+                        proptest::prop_assert_eq!(lmr.count(value), lmr.scan_count(value));
                     }
                 }
             }

@@ -103,28 +103,91 @@ fn sv_idx(value: StepValue) -> usize {
     }
 }
 
-#[derive(Debug, Default)]
+/// Dense-table sentinel: no value accepted from this sender yet.
+const NO_VOTE: u8 = u8::MAX;
+
+/// Per-step accepted-vote tables, in one of two interchangeable
+/// layouts (selected by `TURQUOIS_LEGACY_STORE`; see [`crate::gate`]).
+#[derive(Debug)]
+enum Accepted {
+    /// The original per-step sender→value hash maps, retained as the
+    /// differential oracle.
+    Legacy([HashMap<usize, StepValue>; 3]),
+    /// Dense per-step sender-indexed byte tables (node ids are dense
+    /// `0..n`; entries hold `StepValue::encode` or [`NO_VOTE`]), grown
+    /// on demand — one byte per sender instead of a hash-map entry.
+    Compact([Vec<u8>; 3]),
+}
+
+#[derive(Debug)]
 struct RoundState {
     /// Validated step values per step (1-3), per sender.
-    accepted: [HashMap<usize, StepValue>; 3],
+    accepted: Accepted,
     /// Incremental per-(step, value) sender tallies over `accepted`
     /// (indexed `[step-1][sv_idx]`), so `is_valid`'s majority probes and
     /// `try_fire`'s quorum counts are O(1) instead of rescanning the
-    /// maps on every pending message.
+    /// tables on every pending message.
     counts: [[usize; 3]; 3],
+    /// Distinct senders accepted per step (replaces the retired
+    /// `accepted[step].len()` read in `try_fire`).
+    totals: [usize; 3],
     /// Steps already advanced past.
     fired: [bool; 3],
 }
 
+impl Default for RoundState {
+    fn default() -> Self {
+        RoundState::with_legacy(crate::gate::legacy_store_enabled())
+    }
+}
+
 impl RoundState {
+    /// Creates an empty round with an explicit layout choice (used by
+    /// differential tests to exercise both layouts in one process).
+    fn with_legacy(legacy: bool) -> Self {
+        let accepted = if legacy {
+            Accepted::Legacy(Default::default())
+        } else {
+            Accepted::Compact(Default::default())
+        };
+        RoundState {
+            accepted,
+            counts: [[0; 3]; 3],
+            totals: [0; 3],
+            fired: [false; 3],
+        }
+    }
+
     /// Records `origin`'s step value if it is the first one accepted
     /// from that sender at `step` (later values from the same sender
     /// are ignored, preserving first-wins semantics).
     fn accept(&mut self, step: u8, origin: usize, value: StepValue) {
         let s = (step - 1) as usize;
-        if let std::collections::hash_map::Entry::Vacant(e) = self.accepted[s].entry(origin) {
-            e.insert(value);
+        let fresh = match &mut self.accepted {
+            Accepted::Legacy(maps) => {
+                if let std::collections::hash_map::Entry::Vacant(e) = maps[s].entry(origin) {
+                    e.insert(value);
+                    true
+                } else {
+                    false
+                }
+            }
+            Accepted::Compact(tables) => {
+                let table = &mut tables[s];
+                if table.len() <= origin {
+                    table.resize(origin + 1, NO_VOTE);
+                }
+                if table[origin] == NO_VOTE {
+                    table[origin] = value.encode();
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if fresh {
             self.counts[s][sv_idx(value)] += 1;
+            self.totals[s] += 1;
         }
     }
 
@@ -137,13 +200,32 @@ impl RoundState {
         self.counts[(step - 1) as usize][sv_idx(value)]
     }
 
+    /// Distinct senders accepted at `step`. O(1).
+    fn total(&self, step: u8) -> usize {
+        debug_assert_eq!(self.totals[(step - 1) as usize], self.scan_total(step));
+        self.totals[(step - 1) as usize]
+    }
+
     /// The retired scan `count` replaced; kept as the `debug_assert!`
-    /// oracle (and exercised by the proptest).
+    /// oracle (and exercised by the proptest). Layout-agnostic.
     fn scan_count(&self, step: u8, value: StepValue) -> usize {
-        self.accepted[(step - 1) as usize]
-            .values()
-            .filter(|&&x| x == value)
-            .count()
+        let s = (step - 1) as usize;
+        match &self.accepted {
+            Accepted::Legacy(maps) => maps[s].values().filter(|&&x| x == value).count(),
+            Accepted::Compact(tables) => tables[s]
+                .iter()
+                .filter(|&&b| b == value.encode())
+                .count(),
+        }
+    }
+
+    /// The retired length scan `total` replaced (debug oracle).
+    fn scan_total(&self, step: u8) -> usize {
+        let s = (step - 1) as usize;
+        match &self.accepted {
+            Accepted::Legacy(maps) => maps[s].len(),
+            Accepted::Compact(tables) => tables[s].iter().filter(|&&b| b != NO_VOTE).count(),
+        }
     }
 }
 
@@ -213,6 +295,21 @@ impl Bracha {
     /// Total reliable-broadcast deliveries so far.
     pub fn deliveries(&self) -> u64 {
         self.deliveries
+    }
+
+    /// Deterministic estimate of the engine's consensus-store footprint
+    /// in bytes: 64 per live round plus one byte per accepted vote and
+    /// 8 per pending message. Reads the O(1) per-round tallies (the
+    /// round map holds a GC-bounded handful of entries), is a function
+    /// of logical content only — never of map capacities — and is
+    /// identical in both vote-table layouts. Excludes the RBC layer.
+    pub fn store_bytes(&self) -> usize {
+        let votes: usize = self
+            .rounds
+            .values()
+            .map(|rs| rs.totals.iter().sum::<usize>())
+            .sum();
+        self.rounds.len() * 64 + votes + 8 * self.pending.len()
     }
 
     /// Starts the protocol: broadcast the round-1 step-1 value.
@@ -332,8 +429,7 @@ impl Bracha {
         if rs.fired[(step - 1) as usize] {
             return false;
         }
-        let accepted = &rs.accepted[(step - 1) as usize];
-        if accepted.len() < need {
+        if rs.total(step) < need {
             return false;
         }
         rs.fired[(step - 1) as usize] = true;
@@ -575,7 +671,8 @@ mod tests {
         /// [`RoundState`] incremental tallies vs. the retired scan
         /// oracle under arbitrary interleavings of accepts (including
         /// duplicate senders — first value wins — and conflicting
-        /// values) and round garbage collection.
+        /// values) and round garbage collection — and the two layouts
+        /// against each other on every query.
         #[test]
         fn round_state_tallies_match_scan_oracle(
             ops in proptest::collection::vec(
@@ -584,22 +681,43 @@ mod tests {
                 1..80,
             ),
         ) {
-            let mut rounds: std::collections::HashMap<u32, RoundState> =
+            let mut compact: std::collections::HashMap<u32, RoundState> =
+                std::collections::HashMap::new();
+            let mut legacy: std::collections::HashMap<u32, RoundState> =
                 std::collections::HashMap::new();
             for (round, step, origin, v, gc) in ops {
                 if gc == 0 {
                     // The engine's GC drops whole rounds below a floor.
-                    rounds.retain(|&r, _| r >= round);
+                    compact.retain(|&r, _| r >= round);
+                    legacy.retain(|&r, _| r >= round);
                 } else {
                     let value = [StepValue::Zero, StepValue::One, StepValue::Null][v as usize];
-                    rounds.entry(round).or_default().accept(step, origin, value);
+                    compact
+                        .entry(round)
+                        .or_insert_with(|| RoundState::with_legacy(false))
+                        .accept(step, origin, value);
+                    legacy
+                        .entry(round)
+                        .or_insert_with(|| RoundState::with_legacy(true))
+                        .accept(step, origin, value);
                 }
-                for rs in rounds.values() {
+                for (&round, rs) in &compact {
+                    let lrs = &legacy[&round];
                     for step in 1u8..=3 {
+                        proptest::prop_assert_eq!(rs.total(step), rs.scan_total(step));
+                        proptest::prop_assert_eq!(rs.total(step), lrs.total(step));
                         for value in [StepValue::Zero, StepValue::One, StepValue::Null] {
                             proptest::prop_assert_eq!(
                                 rs.count(step, value),
                                 rs.scan_count(step, value)
+                            );
+                            proptest::prop_assert_eq!(
+                                rs.count(step, value),
+                                lrs.count(step, value)
+                            );
+                            proptest::prop_assert_eq!(
+                                lrs.count(step, value),
+                                lrs.scan_count(step, value)
                             );
                         }
                     }

@@ -1,0 +1,66 @@
+//! Layout gate for the baselines' per-round vote stores.
+//!
+//! The Bracha and ABBA engines keep per-round, per-sender vote tables
+//! that come in two interchangeable layouts: the original
+//! hash-map-of-senders ("legacy") and a dense sender-indexed table
+//! ("compact", the default — node ids are dense `0..n`). Both answer
+//! every query identically; the legacy layout is retained as the
+//! differential oracle, selected by the same `TURQUOIS_LEGACY_STORE`
+//! switch that gates `turquois_core::store` (DESIGN.md §10).
+//!
+//! `turquois-baselines` does not depend on `turquois-core`, so it reads
+//! the environment variable through this local copy of the gate. The
+//! programmatic override only affects stores built in *this* crate;
+//! differential tests that need both engines flipped use the
+//! per-structure `with_legacy` constructors instead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+/// Environment variable selecting the legacy hash-map vote tables.
+///
+/// Set to any non-empty value to bypass the dense layout. Results must
+/// be byte-identical either way; the variable exists as a differential
+/// guard and an escape hatch, mirroring `TURQUOIS_LEGACY_QUEUE`.
+pub const LEGACY_STORE_ENV: &str = "TURQUOIS_LEGACY_STORE";
+
+static LEGACY_STORE: AtomicBool = AtomicBool::new(false);
+static LEGACY_STORE_INIT: Once = Once::new();
+
+/// Returns whether new vote tables use the legacy hash-map layout.
+///
+/// The first call reads [`LEGACY_STORE_ENV`]; later calls reuse the
+/// cached value unless [`set_legacy_store`] overrides it.
+pub fn legacy_store_enabled() -> bool {
+    LEGACY_STORE_INIT.call_once(|| {
+        if std::env::var_os(LEGACY_STORE_ENV).is_some_and(|v| !v.is_empty()) {
+            LEGACY_STORE.store(true, Ordering::Relaxed);
+        }
+    });
+    LEGACY_STORE.load(Ordering::Relaxed)
+}
+
+/// Programmatically selects the vote-table layout for stores built
+/// afterwards in this crate, overriding the environment.
+pub fn set_legacy_store(enabled: bool) {
+    // Make sure the env lookup never races in after us and clobbers
+    // the explicit choice.
+    LEGACY_STORE_INIT.call_once(|| {});
+    LEGACY_STORE.store(enabled, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_toggle_round_trips() {
+        // Touch the cached switch; leave it in the default state.
+        let initial = legacy_store_enabled();
+        set_legacy_store(true);
+        assert!(legacy_store_enabled());
+        set_legacy_store(false);
+        assert!(!legacy_store_enabled());
+        set_legacy_store(initial);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod abba;
 pub mod bracha;
+pub mod gate;
 pub mod rbc;
 
 pub use abba::{Abba, AbbaKeys, AbbaMessage, CryptoOps};

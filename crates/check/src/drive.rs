@@ -295,6 +295,20 @@ fn run_turquois(s: &Schedule) -> RunReport {
         })
         .collect();
 
+    // The Byzantine coalition colludes: a split-brain equivocator sends
+    // *both* side outputs to fellow equivocators (side-tagged, like its
+    // self-delivery) so each of their trackers keeps pace with its
+    // partition side. With one mask-routed copy a coalition of t ≥ 2
+    // starves its own trackers below quorum and the whole equivocation
+    // stalls at phase 1 — a weaker adversary than the paper allows.
+    let split_ids: Vec<bool> = (0..s.n)
+        .map(|id| {
+            s.byz
+                .iter()
+                .any(|b| b.id == id && b.strategy == ByzStrategy::SplitBrain)
+        })
+        .collect();
+
     let mut net = Net::new(s);
     let mut rounds_used = s.max_rounds;
     for round in 1..=s.max_rounds {
@@ -311,9 +325,10 @@ fn run_turquois(s: &Schedule) -> RunReport {
                     let out_a = a.on_tick().expect("keys sized for max_rounds");
                     let out_b = b.on_tick().expect("keys sized for max_rounds");
                     let mask = *mask;
-                    for to in 0..s.n {
-                        if to == id {
-                            // Both trackers hear their own broadcast.
+                    for (to, &to_is_split) in split_ids.iter().enumerate() {
+                        if to == id || to_is_split {
+                            // Both trackers hear their own broadcast, and
+                            // the coalition shares both brains.
                             net.send_side(round, round + 2, id, to, Side::SideA, out_a.bytes.clone());
                             net.send_side(round, round + 2, id, to, Side::SideB, out_b.bytes.clone());
                             continue;

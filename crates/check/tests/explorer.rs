@@ -70,6 +70,15 @@ mod clean {
         assert_clean(sweep(EngineKind::Turquois, 7));
     }
 
+    /// First size past the paper's exploration shapes, exercising the
+    /// compact per-sender stores with `f = 2` and a 9-wide sender
+    /// bitmask (`n+f = 11` is odd, so the true quorum has slack and the
+    /// sweep must stay clean).
+    #[test]
+    fn turquois_n9_sweep_is_clean() {
+        assert_clean(sweep(EngineKind::Turquois, 9));
+    }
+
     #[test]
     fn bracha_n4_sweep_is_clean() {
         assert_clean(sweep(EngineKind::Bracha, 4));
@@ -154,5 +163,30 @@ mod mutation {
             "fixture must record the violated property:\n{}",
             first.fixture
         );
+    }
+
+    /// Scale-shaped repeat of the smoke: `n = 8` gives `f = 2` and
+    /// `n+f = 10` (even), so each partition side sees 3 correct + 2
+    /// equivocating Byzantine = 5 distinct senders — exactly the
+    /// weakened `2·5 ≥ 10` threshold, one short of the true quorum 6.
+    /// This proves the compact per-sender stores (bitmask tallies, two
+    /// Byzantine bits set in one mask word) still feed the quorum
+    /// comparison exactly; a tally bug that over-counts would mask the
+    /// planted off-by-one and this test would stop finding it.
+    #[test]
+    fn planted_quorum_bug_is_found_at_scale_shape() {
+        let cfg = ExploreConfig {
+            engine: EngineKind::Turquois,
+            n: 8,
+            schedules: 64,
+            base_seed: 20100628,
+        };
+        let report = explore(cfg, threads_from_env());
+        let first = report
+            .violations
+            .first()
+            .expect("scale-shaped mutation smoke found no violation");
+        assert_eq!(first.violation.kind(), "agreement");
+        assert_eq!(first.shrunk_violation.kind(), "agreement");
     }
 }

@@ -278,6 +278,15 @@ impl Turquois {
         self.evidence.count_phase(phase)
     }
 
+    /// Approximate resident bytes of the two message stores (evidence
+    /// and `V_i`). Deterministic and layout-independent — a function of
+    /// store *contents*, not of the compact/legacy representation — so
+    /// it can feed stall-report telemetry without threatening output
+    /// byte-identity under `TURQUOIS_LEGACY_STORE=1`.
+    pub fn store_bytes(&self) -> usize {
+        self.evidence.approx_bytes() + self.valid.approx_bytes()
+    }
+
     /// Diagnostic snapshot: `(phase, value, coin_flip, valid-store
     /// sender count at the current phase, evidence-store sender count)`.
     pub fn debug_snapshot(&self) -> (u32, Value, bool, usize, usize) {
@@ -452,6 +461,24 @@ impl Turquois {
     /// message that justifies the value also counts toward the phase
     /// quorum, keeping bundles (and airtime) minimal.
     fn build_justification(&self, envelope: &Envelope) -> Vec<(Envelope, OneTimeSignature)> {
+        // Collecting `quorum` entries suffices for the phase top-up:
+        // `collect` yields one record per distinct sender, so the first
+        // `quorum` of them top the set up to a quorum no matter how many
+        // were already contributed by the value evidence — the bound is
+        // exactly equivalent to an unbounded scan (DESIGN.md §10), which
+        // matters once n reaches 256. The proptest
+        // `bounded_bundle_matches_unbounded_scan` compares the two.
+        self.build_justification_with(envelope, self.cfg.quorum_min())
+    }
+
+    /// [`Turquois::build_justification`] with an explicit phase top-up
+    /// collection limit (`top_up_limit`); tests pass `usize::MAX` to
+    /// recover the retired unbounded scan as a differential oracle.
+    fn build_justification_with(
+        &self,
+        envelope: &Envelope,
+        top_up_limit: usize,
+    ) -> Vec<(Envelope, OneTimeSignature)> {
         let phase = envelope.phase;
         let mut bundle: Vec<(Envelope, OneTimeSignature)> = Vec::new();
         let quorum = self.cfg.quorum_min();
@@ -511,7 +538,7 @@ impl Turquois {
                 .map(|(e, _)| e.sender)
                 .collect();
             if senders_at_prev.len() < quorum {
-                for (env, sig) in self.evidence.collect(phase - 1, None, usize::MAX) {
+                for (env, sig) in self.evidence.collect(phase - 1, None, top_up_limit) {
                     if senders_at_prev.len() >= quorum {
                         break;
                     }
@@ -970,6 +997,68 @@ mod tests {
                         receipt.outcome == MessageOutcome::AuthFailed,
                         !oracle_ok,
                         "cached verdict diverged from the oracle"
+                    );
+                }
+            }
+        }
+
+        /// Bounding the phase top-up at `quorum` collected entries is
+        /// bit-identical to the retired unbounded scan: on arbitrary
+        /// evidence stores (equivocators, gaps, every phase shape mod 3,
+        /// both coin flips) the bounded bundle equals the unbounded one,
+        /// so bounding never drops a message a receiver needs to justify
+        /// a phase transition.
+        #[test]
+        fn bounded_bundle_matches_unbounded_scan(
+            seed in 0u64..200,
+            phase_sel in 3u32..=8,
+            entries in proptest::collection::vec(
+                (0usize..10, 1u32..=7, 0usize..3, proptest::prelude::any::<bool>()),
+                0..80,
+            ),
+        ) {
+            let n = 10;
+            let cfg = Config::evaluation(n).expect("valid n");
+            let rings = KeyRing::trusted_setup(n, PHASES, seed);
+            let mut p = Turquois::new(cfg, 0, true, rings[0].clone(), seed);
+            for (sender, phase, vi, coin) in entries {
+                let value = [Value::Zero, Value::One, Value::Bot][vi];
+                // `sign` rejects values illegal at `phase` (e.g. ⊥ at a
+                // CONVERGE phase); skip those combos — a correct store
+                // never holds them either.
+                let Ok(sig) = rings[sender].sign(phase, value) else {
+                    continue;
+                };
+                let env = Envelope {
+                    sender,
+                    phase,
+                    value,
+                    coin_flip: coin,
+                    status: Status::Undecided,
+                };
+                p.evidence.insert(&env, sig);
+            }
+            let flat = |b: Vec<(Envelope, OneTimeSignature)>| -> Vec<(Envelope, [u8; 32])> {
+                b.into_iter().map(|(e, s)| (e, s.0)).collect()
+            };
+            for value in [Value::Zero, Value::One, Value::Bot] {
+                for coin in [false, true] {
+                    let env = Envelope {
+                        sender: 0,
+                        phase: phase_sel,
+                        value,
+                        coin_flip: coin,
+                        status: Status::Undecided,
+                    };
+                    let bounded = p.build_justification_with(&env, p.cfg.quorum_min());
+                    let unbounded = p.build_justification_with(&env, usize::MAX);
+                    proptest::prop_assert_eq!(
+                        flat(bounded),
+                        flat(unbounded),
+                        "bounded bundle diverged at phase {} value {:?} coin {}",
+                        phase_sel,
+                        value,
+                        coin
                     );
                 }
             }

@@ -10,6 +10,7 @@
 //! long-term hash-based identity key.
 
 use std::fmt;
+use std::sync::Arc;
 use turquois_crypto::hashsig;
 use turquois_crypto::otss::{
     KeyPairArray, OneTimeSignature, SignError, SignedVerificationKeys, Value, VerificationKeyArray,
@@ -91,7 +92,13 @@ pub struct KeyRing {
     /// Own secret/verification arrays, one per epoch, contiguous phases.
     own_epochs: Vec<KeyPairArray>,
     /// `vks[p]` = process `p`'s verification arrays, one per epoch.
-    vks: Vec<Vec<VerificationKeyArray>>,
+    ///
+    /// Arrays are immutable once distributed, so they are `Arc`-shared:
+    /// the `n` rings of a [`KeyRing::trusted_setup`] (and every clone a
+    /// crash-rebuild takes) point at one copy of each array. Without
+    /// sharing the setup is `O(n² · phases)` host memory — gigabytes at
+    /// `n = 256` — for bytes that are identical in every ring.
+    vks: Vec<Vec<Arc<VerificationKeyArray>>>,
 }
 
 impl fmt::Debug for KeyRing {
@@ -109,13 +116,17 @@ impl KeyRing {
     /// Assembles a keyring from the first epoch's material (distributed
     /// offline with the public keys, per the paper).
     ///
+    /// The verification arrays come `Arc`-wrapped so the caller can hand
+    /// the *same* allocations to every ring (see [`KeyRing::trusted_setup`]);
+    /// wrap with `Arc::new` when material is not shared.
+    ///
     /// # Errors
     ///
     /// Returns [`KeyRingError`] when the material is inconsistent.
     pub fn new(
         id: usize,
         own: KeyPairArray,
-        all: Vec<VerificationKeyArray>,
+        all: Vec<Arc<VerificationKeyArray>>,
     ) -> Result<Self, KeyRingError> {
         let n = all.len();
         if own.verification_keys().process() != id {
@@ -149,13 +160,17 @@ impl KeyRing {
     /// Trusted-setup ceremony for experiments and tests: generates one
     /// keyring per process, all covering phases `1..=num_phases`, derived
     /// from `seed`.
+    ///
+    /// All `n` rings share one `Arc` per verification array, so setup
+    /// memory is `O(n · phases)` instead of the `O(n² · phases)` a
+    /// per-ring copy would cost (~3.8 GB at `n = 256`, 600 phases).
     pub fn trusted_setup(n: usize, num_phases: usize, seed: u64) -> Vec<KeyRing> {
         let pairs: Vec<KeyPairArray> = (0..n)
             .map(|p| KeyPairArray::generate(p, num_phases, seed.wrapping_add(p as u64)))
             .collect();
-        let all_vks: Vec<VerificationKeyArray> = pairs
+        let all_vks: Vec<Arc<VerificationKeyArray>> = pairs
             .iter()
-            .map(|kp| kp.verification_keys().clone())
+            .map(|kp| Arc::new(kp.verification_keys().clone()))
             .collect();
         pairs
             .into_iter()
@@ -251,7 +266,7 @@ impl KeyRing {
         let pair = KeyPairArray::generate_epoch(self.id, first, num_phases, seed);
         let bundle = SignedVerificationKeys::sign(pair.verification_keys().clone(), identity)?;
         self.own_epochs.push(pair);
-        self.vks[self.id].push(bundle.keys.clone());
+        self.vks[self.id].push(Arc::new(bundle.keys.clone()));
         Ok(bundle)
     }
 
@@ -290,7 +305,7 @@ impl KeyRing {
                 got_first: bundle.keys.first_phase(),
             });
         }
-        epochs.push(bundle.keys.clone());
+        epochs.push(Arc::new(bundle.keys.clone()));
         Ok(())
     }
 }
@@ -393,8 +408,8 @@ mod tests {
         let rings = KeyRing::trusted_setup(3, 3, 1);
         let own = KeyPairArray::generate(1, 3, 2);
         // Claiming id 0 with process-1 keys fails.
-        let vks: Vec<VerificationKeyArray> = (0..3)
-            .map(|p| rings[p].vks[p][0].clone())
+        let vks: Vec<Arc<VerificationKeyArray>> = (0..3)
+            .map(|p| Arc::clone(&rings[p].vks[p][0]))
             .collect();
         assert!(matches!(
             KeyRing::new(0, own, vks),

@@ -18,10 +18,70 @@
 //! `validation`): the semantically-validated `V_i` that drives
 //! transitions, and the authentic-evidence store used by the §6.2
 //! semantic checks and for building justifications.
+//!
+//! # Storage layout (DESIGN.md §10)
+//!
+//! Node ids are dense `0..n`, and a sender can contribute at most one
+//! record per distinct `(value, coin, status)` combination — twelve in
+//! total. Two interchangeable slot layouts exploit that:
+//!
+//! * **Legacy** — the original `Vec<Vec<Record>>` (one record list per
+//!   sender). Selected with `TURQUOIS_LEGACY_STORE=1` (any non-empty
+//!   value) or [`set_legacy_store`]; retained as the differential
+//!   oracle, mirroring the queue-engine gate (DESIGN.md §9).
+//! * **Compact** (default) — per sender a 12-bit presence mask (one bit
+//!   per combination code), a packed `u64` of 4-bit codes in insertion
+//!   order, and three arena indices (one per value) into a slot-local
+//!   signature arena. 22 bytes per sender plus 32 per distinct
+//!   `(sender, value)` signature, with no per-sender heap allocation —
+//!   the difference between n=16 and n=256 staying resident.
+//!
+//! Both layouts answer every query identically — byte-for-byte on every
+//! experiment — because all retrieval paths return the *first* record
+//! matching their criterion in insertion order, and the signature for a
+//! given `(sender, phase, value)` is fixed at the first insert of that
+//! value (verified one-time signatures are unique per `(phase, value)`
+//! by construction).
 
 use crate::message::{Envelope, Status};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
 use turquois_crypto::otss::{OneTimeSignature, Value};
+
+/// Environment variable selecting the legacy `Vec<Vec<Record>>` layout.
+///
+/// Set to any non-empty value to bypass the compact bitset/arena slots.
+/// Results must be byte-identical either way; the variable exists as a
+/// differential guard and an escape hatch, mirroring
+/// `TURQUOIS_LEGACY_QUEUE`.
+pub const LEGACY_STORE_ENV: &str = "TURQUOIS_LEGACY_STORE";
+
+static LEGACY_STORE: AtomicBool = AtomicBool::new(false);
+static LEGACY_STORE_INIT: Once = Once::new();
+
+/// Returns whether new stores use the legacy per-sender `Vec` layout.
+///
+/// The first call reads [`LEGACY_STORE_ENV`]; later calls reuse the
+/// cached value unless [`set_legacy_store`] overrides it.
+pub fn legacy_store_enabled() -> bool {
+    LEGACY_STORE_INIT.call_once(|| {
+        if std::env::var_os(LEGACY_STORE_ENV).is_some_and(|v| !v.is_empty()) {
+            LEGACY_STORE.store(true, Ordering::Relaxed);
+        }
+    });
+    LEGACY_STORE.load(Ordering::Relaxed)
+}
+
+/// Programmatically selects the store layout for stores built
+/// afterwards, overriding the environment (used by differential tests
+/// to run both layouts in one process).
+pub fn set_legacy_store(enabled: bool) {
+    // Make sure the env lookup never races in after us and clobbers
+    // the explicit choice.
+    LEGACY_STORE_INIT.call_once(|| {});
+    LEGACY_STORE.store(enabled, Ordering::Relaxed);
+}
 
 /// One stored record: the distinct content a sender put in a phase.
 #[derive(Clone, Copy, Debug, Eq, PartialEq)]
@@ -59,40 +119,258 @@ fn value_idx(value: Value) -> usize {
     }
 }
 
-#[derive(Clone, Debug, Default)]
-struct PhaseSlot {
+const VALUES: [Value; 3] = [Value::Zero, Value::One, Value::Bot];
+
+/// Encodes a record's observable content as a 4-bit combination code
+/// `value_idx * 4 + coin * 2 + status` (twelve possible codes, 0..12).
+#[inline]
+fn combo_code(value: Value, coin_flip: bool, status: Status) -> u8 {
+    (value_idx(value) as u8) * 4
+        + (coin_flip as u8) * 2
+        + (status == Status::Decided) as u8
+}
+
+/// Decodes a combination code back into a [`Record`], attaching the
+/// signature recovered from the slot arena.
+#[inline]
+fn decode_code(code: u8, signature: OneTimeSignature) -> Record {
+    Record {
+        value: VALUES[(code >> 2) as usize],
+        coin_flip: code & 0b10 != 0,
+        status: if code & 1 != 0 {
+            Status::Decided
+        } else {
+            Status::Undecided
+        },
+        signature,
+    }
+}
+
+/// Presence-mask bits covering every code of `value`.
+#[inline]
+fn value_mask(value: Value) -> u16 {
+    0b1111 << (4 * value_idx(value))
+}
+
+/// Arena-index sentinel: no signature stored for this `(sender, value)`.
+const NO_SIG: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+enum SlotRepr {
     /// `senders[s]` holds the distinct records sender `s` produced in
     /// this phase (bounded: ≤ 3 values × 2 coin flags × 2 statuses).
-    senders: Vec<Vec<Record>>,
+    Legacy(Vec<Vec<Record>>),
+    /// Index-keyed bitset/arena layout (see the module docs).
+    Compact {
+        /// Per-sender presence bitmask, one bit per combination code.
+        masks: Vec<u16>,
+        /// Per-sender packed 4-bit codes in insertion order; record
+        /// count is `masks[s].count_ones()` (≤ 12 records → 48 bits).
+        order: Vec<u64>,
+        /// Per-sender, per-value arena index of the signature recorded
+        /// at the first insert of that value ([`NO_SIG`] when absent).
+        sig_idx: Vec<[u32; 3]>,
+        /// Slot-local signature arena, one entry per distinct
+        /// `(sender, value)` pair.
+        sigs: Vec<OneTimeSignature>,
+    },
+}
+
+/// Iterates a sender's records in insertion order, layout-agnostically.
+enum RecordsIter<'a> {
+    Legacy(std::slice::Iter<'a, Record>),
+    Compact {
+        order: u64,
+        left: u32,
+        sig_idx: &'a [u32; 3],
+        sigs: &'a [OneTimeSignature],
+    },
+}
+
+impl Iterator for RecordsIter<'_> {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        match self {
+            RecordsIter::Legacy(it) => it.next().copied(),
+            RecordsIter::Compact {
+                order,
+                left,
+                sig_idx,
+                sigs,
+            } => {
+                if *left == 0 {
+                    return None;
+                }
+                let code = (*order & 0xF) as u8;
+                *order >>= 4;
+                *left -= 1;
+                let sig = sigs[sig_idx[(code >> 2) as usize] as usize];
+                Some(decode_code(code, sig))
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PhaseSlot {
+    repr: SlotRepr,
     /// Distinct senders with ≥ 1 record in this phase, maintained on
-    /// insert so quorum checks are O(1) instead of rescanning `senders`.
+    /// insert so quorum checks are O(1) instead of rescanning.
     phase_senders: usize,
     /// Distinct senders per value (indexed by [`value_idx`]); an
     /// equivocator contributes once per value it signed, never twice to
     /// the same value.
     value_senders: [usize; 3],
+    /// Distinct `(sender, value)` pairs stored — the slot's signature
+    /// population, maintained for O(1) footprint estimates.
+    sig_slots: usize,
 }
 
 impl PhaseSlot {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, legacy: bool) -> Self {
+        let repr = if legacy {
+            SlotRepr::Legacy(vec![Vec::new(); n])
+        } else {
+            SlotRepr::Compact {
+                masks: vec![0; n],
+                order: vec![0; n],
+                sig_idx: vec![[NO_SIG; 3]; n],
+                sigs: Vec::new(),
+            }
+        };
         PhaseSlot {
-            senders: vec![Vec::new(); n],
+            repr,
             phase_senders: 0,
             value_senders: [0; 3],
+            sig_slots: 0,
+        }
+    }
+
+    /// Inserts a record for `sender`; returns `true` if it was new (not
+    /// an exact duplicate of a stored record), updating all tallies.
+    fn insert(&mut self, sender: usize, record: Record) -> bool {
+        match &mut self.repr {
+            SlotRepr::Legacy(senders) => {
+                let records = &mut senders[sender];
+                // Duplicate = same observable content. (Signatures for
+                // the same (phase, value) are identical by construction.)
+                if records.iter().any(|r| {
+                    r.value == record.value
+                        && r.coin_flip == record.coin_flip
+                        && r.status == record.status
+                }) {
+                    return false;
+                }
+                // Update the incremental tallies before the push: the
+                // record lists are tiny (≤ 12 entries), so these
+                // membership probes are cheap, and they only run on
+                // genuinely new records.
+                if records.is_empty() {
+                    self.phase_senders += 1;
+                }
+                if !records.iter().any(|r| r.value == record.value) {
+                    self.value_senders[value_idx(record.value)] += 1;
+                    self.sig_slots += 1;
+                }
+                records.push(record);
+                true
+            }
+            SlotRepr::Compact {
+                masks,
+                order,
+                sig_idx,
+                sigs,
+            } => {
+                let code = combo_code(record.value, record.coin_flip, record.status);
+                let bit = 1u16 << code;
+                if masks[sender] & bit != 0 {
+                    return false;
+                }
+                if masks[sender] == 0 {
+                    self.phase_senders += 1;
+                }
+                let vi = value_idx(record.value);
+                if masks[sender] & value_mask(record.value) == 0 {
+                    self.value_senders[vi] += 1;
+                    self.sig_slots += 1;
+                    sig_idx[sender][vi] = sigs.len() as u32;
+                    sigs.push(record.signature);
+                }
+                let pos = masks[sender].count_ones();
+                order[sender] |= u64::from(code) << (4 * pos);
+                masks[sender] |= bit;
+                true
+            }
+        }
+    }
+
+    /// The records sender `s` produced, in insertion order.
+    fn records(&self, sender: usize) -> RecordsIter<'_> {
+        match &self.repr {
+            SlotRepr::Legacy(senders) => RecordsIter::Legacy(senders[sender].iter()),
+            SlotRepr::Compact {
+                masks,
+                order,
+                sig_idx,
+                sigs,
+            } => RecordsIter::Compact {
+                order: order[sender],
+                left: masks[sender].count_ones(),
+                sig_idx: &sig_idx[sender],
+                sigs,
+            },
+        }
+    }
+
+    /// Whether `sender` has any record in this phase. O(1).
+    fn sender_present(&self, sender: usize) -> bool {
+        match &self.repr {
+            SlotRepr::Legacy(senders) => !senders[sender].is_empty(),
+            SlotRepr::Compact { masks, .. } => masks[sender] != 0,
+        }
+    }
+
+    /// Whether `sender` has a record with `value`. O(1) in the compact
+    /// layout (a mask probe), a ≤ 12-entry scan in the legacy one.
+    fn sender_has_value(&self, sender: usize, value: Value) -> bool {
+        match &self.repr {
+            SlotRepr::Legacy(senders) => senders[sender].iter().any(|r| r.value == value),
+            SlotRepr::Compact { masks, .. } => masks[sender] & value_mask(value) != 0,
+        }
+    }
+
+    /// Total records stored in this slot.
+    fn record_count(&self) -> usize {
+        match &self.repr {
+            SlotRepr::Legacy(senders) => senders.iter().map(Vec::len).sum(),
+            SlotRepr::Compact { masks, .. } => {
+                masks.iter().map(|m| m.count_ones() as usize).sum()
+            }
+        }
+    }
+
+    /// Number of senders the slot was sized for.
+    fn n(&self) -> usize {
+        match &self.repr {
+            SlotRepr::Legacy(senders) => senders.len(),
+            SlotRepr::Compact { masks, .. } => masks.len(),
         }
     }
 
     /// The retired scan the incremental `phase_senders` replaced; kept
     /// as the `debug_assert!` oracle (and exercised by the proptest).
+    /// Layout-agnostic: reconstructs records through [`PhaseSlot::records`].
     fn scan_phase_senders(&self) -> usize {
-        self.senders.iter().filter(|r| !r.is_empty()).count()
+        (0..self.n())
+            .filter(|&s| self.records(s).next().is_some())
+            .count()
     }
 
     /// The retired scan the incremental `value_senders` replaced.
     fn scan_value_senders(&self, value: Value) -> usize {
-        self.senders
-            .iter()
-            .filter(|recs| recs.iter().any(|r| r.value == value))
+        (0..self.n())
+            .filter(|&s| self.records(s).any(|r| r.value == value))
             .count()
     }
 }
@@ -101,15 +379,29 @@ impl PhaseSlot {
 #[derive(Clone, Debug)]
 pub struct MessageStore {
     n: usize,
+    legacy: bool,
     phases: BTreeMap<u32, PhaseSlot>,
+    /// Live distinct `(sender, value)` pairs across all retained
+    /// phases, maintained on insert and prune for O(1)
+    /// [`MessageStore::approx_bytes`].
+    sig_slots: usize,
 }
 
 impl MessageStore {
-    /// Creates an empty store for `n` processes.
+    /// Creates an empty store for `n` processes, with the slot layout
+    /// selected by [`legacy_store_enabled`].
     pub fn new(n: usize) -> Self {
+        MessageStore::with_legacy(n, legacy_store_enabled())
+    }
+
+    /// Creates an empty store with an explicit layout choice (used by
+    /// differential tests to exercise both layouts in one process).
+    pub fn with_legacy(n: usize, legacy: bool) -> Self {
         MessageStore {
             n,
+            legacy,
             phases: BTreeMap::new(),
+            sig_slots: 0,
         }
     }
 
@@ -122,36 +414,24 @@ impl MessageStore {
     /// upstream).
     pub fn insert(&mut self, envelope: &Envelope, signature: OneTimeSignature) -> bool {
         assert!(envelope.sender < self.n, "sender out of range");
+        let legacy = self.legacy;
+        let n = self.n;
         let slot = self
             .phases
             .entry(envelope.phase)
-            .or_insert_with(|| PhaseSlot::new(self.n));
-        let records = &mut slot.senders[envelope.sender];
-        let record = Record {
-            value: envelope.value,
-            coin_flip: envelope.coin_flip,
-            status: envelope.status,
-            signature,
-        };
-        // Duplicate = same observable content. (Signatures for the same
-        // (phase, value) are identical by construction.)
-        if records
-            .iter()
-            .any(|r| r.value == record.value && r.coin_flip == record.coin_flip && r.status == record.status)
-        {
-            return false;
-        }
-        // Update the incremental tallies before the push: the record
-        // lists are tiny (≤ 12 entries), so these membership probes are
-        // cheap, and they only run on genuinely new records.
-        if records.is_empty() {
-            slot.phase_senders += 1;
-        }
-        if !records.iter().any(|r| r.value == record.value) {
-            slot.value_senders[value_idx(record.value)] += 1;
-        }
-        records.push(record);
-        true
+            .or_insert_with(|| PhaseSlot::new(n, legacy));
+        let before = slot.sig_slots;
+        let fresh = slot.insert(
+            envelope.sender,
+            Record {
+                value: envelope.value,
+                coin_flip: envelope.coin_flip,
+                status: envelope.status,
+                signature,
+            },
+        );
+        self.sig_slots += slot.sig_slots - before;
+        fresh
     }
 
     /// Number of processes.
@@ -188,14 +468,14 @@ impl MessageStore {
     pub fn has_sender(&self, phase: u32, sender: usize) -> bool {
         self.phases
             .get(&phase)
-            .is_some_and(|s| !s.senders[sender].is_empty())
+            .is_some_and(|s| s.sender_present(sender))
     }
 
     /// Whether `sender` sent `(phase, value)`.
     pub fn has_sender_value(&self, phase: u32, sender: usize, value: Value) -> bool {
         self.phases
             .get(&phase)
-            .is_some_and(|s| s.senders[sender].iter().any(|r| r.value == value))
+            .is_some_and(|s| s.sender_has_value(sender, value))
     }
 
     /// The best catch-up candidate: a record with phase strictly above
@@ -204,9 +484,9 @@ impl MessageStore {
     /// `(phase, sender, record)`.
     pub fn best_catch_up(&self, above: u32) -> Option<(u32, usize, Record)> {
         let (&phase, slot) = self.phases.range(above + 1..).next_back()?;
-        for (sender, records) in slot.senders.iter().enumerate() {
-            if let Some(rec) = records.first() {
-                return Some((phase, sender, *rec));
+        for sender in 0..slot.n() {
+            if let Some(rec) = slot.records(sender).next() {
+                return Some((phase, sender, rec));
             }
         }
         None
@@ -252,13 +532,13 @@ impl MessageStore {
         let Some(slot) = self.phases.get(&phase) else {
             return out;
         };
-        for (sender, records) in slot.senders.iter().enumerate() {
+        for sender in 0..slot.n() {
             if out.len() >= limit {
                 break;
             }
             let rec = match value {
-                Some(v) => records.iter().find(|r| r.value == v),
-                None => records.first(),
+                Some(v) => slot.records(sender).find(|r| r.value == v),
+                None => slot.records(sender).next(),
             };
             if let Some(rec) = rec {
                 out.push((rec.to_envelope(sender, phase), rec.signature));
@@ -282,7 +562,11 @@ impl MessageStore {
 
     /// Drops all phases strictly below `min_phase` (garbage collection).
     pub fn prune_below(&mut self, min_phase: u32) {
-        self.phases = self.phases.split_off(&min_phase);
+        let live = self.phases.split_off(&min_phase);
+        let dead = std::mem::replace(&mut self.phases, live);
+        for slot in dead.values() {
+            self.sig_slots -= slot.sig_slots;
+        }
     }
 
     /// Lowest phase retained, if non-empty.
@@ -292,10 +576,19 @@ impl MessageStore {
 
     /// Total stored records (for tests and memory diagnostics).
     pub fn record_count(&self) -> usize {
-        self.phases
-            .values()
-            .map(|s| s.senders.iter().map(Vec::len).sum::<usize>())
-            .sum()
+        self.phases.values().map(PhaseSlot::record_count).sum()
+    }
+
+    /// Deterministic O(1) estimate of the store's resident footprint in
+    /// bytes, independent of the slot layout (so stall reports stay
+    /// byte-identical under `TURQUOIS_LEGACY_STORE=1`): each retained
+    /// phase charges the compact layout's fixed 22 bytes per sender plus
+    /// 64 bytes of slot/map overhead, and every distinct
+    /// `(sender, value)` pair charges a 32-byte signature. A function of
+    /// logical content only — never of `Vec` capacities or allocator
+    /// behaviour — so it is reproducible across runs and platforms.
+    pub fn approx_bytes(&self) -> usize {
+        self.phases.len() * (22 * self.n + 64) + 32 * self.sig_slots
     }
 }
 
@@ -320,102 +613,118 @@ mod tests {
 
     #[test]
     fn duplicates_do_not_inflate_counts() {
-        let mut s = MessageStore::new(4);
-        assert!(s.insert(&env(0, 1, Value::One), sig(1)));
-        assert!(!s.insert(&env(0, 1, Value::One), sig(1)));
-        assert_eq!(s.count_phase(1), 1);
-        assert_eq!(s.count_value(1, Value::One), 1);
-        assert_eq!(s.record_count(), 1);
+        for legacy in [false, true] {
+            let mut s = MessageStore::with_legacy(4, legacy);
+            assert!(s.insert(&env(0, 1, Value::One), sig(1)));
+            assert!(!s.insert(&env(0, 1, Value::One), sig(1)));
+            assert_eq!(s.count_phase(1), 1);
+            assert_eq!(s.count_value(1, Value::One), 1);
+            assert_eq!(s.record_count(), 1);
+        }
     }
 
     #[test]
     fn equivocation_counts_once_per_value_once_per_phase() {
-        let mut s = MessageStore::new(4);
-        assert!(s.insert(&env(2, 1, Value::Zero), sig(1)));
-        assert!(s.insert(&env(2, 1, Value::One), sig(2)));
-        // Phase count: the sender is present once.
-        assert_eq!(s.count_phase(1), 1);
-        // Value counts: present for each value it signed.
-        assert_eq!(s.count_value(1, Value::Zero), 1);
-        assert_eq!(s.count_value(1, Value::One), 1);
+        for legacy in [false, true] {
+            let mut s = MessageStore::with_legacy(4, legacy);
+            assert!(s.insert(&env(2, 1, Value::Zero), sig(1)));
+            assert!(s.insert(&env(2, 1, Value::One), sig(2)));
+            // Phase count: the sender is present once.
+            assert_eq!(s.count_phase(1), 1);
+            // Value counts: present for each value it signed.
+            assert_eq!(s.count_value(1, Value::Zero), 1);
+            assert_eq!(s.count_value(1, Value::One), 1);
+        }
     }
 
     #[test]
     fn counts_across_senders() {
-        let mut s = MessageStore::new(5);
-        for sender in 0..4 {
-            s.insert(&env(sender, 2, Value::One), sig(sender as u8));
+        for legacy in [false, true] {
+            let mut s = MessageStore::with_legacy(5, legacy);
+            for sender in 0..4 {
+                s.insert(&env(sender, 2, Value::One), sig(sender as u8));
+            }
+            s.insert(&env(4, 2, Value::Zero), sig(9));
+            assert_eq!(s.count_phase(2), 5);
+            assert_eq!(s.count_value(2, Value::One), 4);
+            assert_eq!(s.count_value(2, Value::Zero), 1);
+            assert_eq!(s.count_phase(3), 0);
         }
-        s.insert(&env(4, 2, Value::Zero), sig(9));
-        assert_eq!(s.count_phase(2), 5);
-        assert_eq!(s.count_value(2, Value::One), 4);
-        assert_eq!(s.count_value(2, Value::Zero), 1);
-        assert_eq!(s.count_phase(3), 0);
     }
 
     #[test]
     fn best_catch_up_prefers_highest_phase() {
-        let mut s = MessageStore::new(4);
-        s.insert(&env(1, 3, Value::One), sig(1));
-        s.insert(&env(2, 7, Value::Zero), sig(2));
-        s.insert(&env(3, 5, Value::One), sig(3));
-        let (phase, sender, rec) = s.best_catch_up(1).expect("candidates exist");
-        assert_eq!((phase, sender), (7, 2));
-        assert_eq!(rec.value, Value::Zero);
-        assert!(s.best_catch_up(7).is_none());
-        let (phase, _, _) = s.best_catch_up(5).expect("phase 7 qualifies");
-        assert_eq!(phase, 7);
+        for legacy in [false, true] {
+            let mut s = MessageStore::with_legacy(4, legacy);
+            s.insert(&env(1, 3, Value::One), sig(1));
+            s.insert(&env(2, 7, Value::Zero), sig(2));
+            s.insert(&env(3, 5, Value::One), sig(3));
+            let (phase, sender, rec) = s.best_catch_up(1).expect("candidates exist");
+            assert_eq!((phase, sender), (7, 2));
+            assert_eq!(rec.value, Value::Zero);
+            assert!(s.best_catch_up(7).is_none());
+            let (phase, _, _) = s.best_catch_up(5).expect("phase 7 qualifies");
+            assert_eq!(phase, 7);
+        }
     }
 
     #[test]
     fn majority_and_tiebreak() {
-        let mut s = MessageStore::new(5);
-        s.insert(&env(0, 1, Value::Zero), sig(0));
-        s.insert(&env(1, 1, Value::Zero), sig(1));
-        s.insert(&env(2, 1, Value::One), sig(2));
-        assert_eq!(s.majority_value(1), Value::Zero);
-        s.insert(&env(3, 1, Value::One), sig(3));
-        // Tie 2–2 breaks to One.
-        assert_eq!(s.majority_value(1), Value::One);
-        assert_eq!(s.any_binary_value(1), Some(Value::One));
-        assert_eq!(s.any_binary_value(9), None);
+        for legacy in [false, true] {
+            let mut s = MessageStore::with_legacy(5, legacy);
+            s.insert(&env(0, 1, Value::Zero), sig(0));
+            s.insert(&env(1, 1, Value::Zero), sig(1));
+            s.insert(&env(2, 1, Value::One), sig(2));
+            assert_eq!(s.majority_value(1), Value::Zero);
+            s.insert(&env(3, 1, Value::One), sig(3));
+            // Tie 2–2 breaks to One.
+            assert_eq!(s.majority_value(1), Value::One);
+            assert_eq!(s.any_binary_value(1), Some(Value::One));
+            assert_eq!(s.any_binary_value(9), None);
+        }
     }
 
     #[test]
     fn any_binary_value_ignores_bot() {
-        let mut s = MessageStore::new(4);
-        s.insert(&env(0, 3, Value::Bot), sig(0));
-        assert_eq!(s.any_binary_value(3), None);
-        s.insert(&env(1, 3, Value::Zero), sig(1));
-        assert_eq!(s.any_binary_value(3), Some(Value::Zero));
+        for legacy in [false, true] {
+            let mut s = MessageStore::with_legacy(4, legacy);
+            s.insert(&env(0, 3, Value::Bot), sig(0));
+            assert_eq!(s.any_binary_value(3), None);
+            s.insert(&env(1, 3, Value::Zero), sig(1));
+            assert_eq!(s.any_binary_value(3), Some(Value::Zero));
+        }
     }
 
     #[test]
     fn collect_one_per_sender_with_filter() {
-        let mut s = MessageStore::new(4);
-        s.insert(&env(0, 2, Value::One), sig(0));
-        s.insert(&env(1, 2, Value::Zero), sig(1));
-        s.insert(&env(1, 2, Value::One), sig(2)); // equivocator
-        s.insert(&env(3, 2, Value::One), sig(3));
-        let ones = s.collect(2, Some(Value::One), 10);
-        assert_eq!(ones.len(), 3);
-        assert!(ones.iter().all(|(e, _)| e.value == Value::One));
-        let capped = s.collect(2, None, 2);
-        assert_eq!(capped.len(), 2);
-        assert!(s.collect(5, None, 10).is_empty());
+        for legacy in [false, true] {
+            let mut s = MessageStore::with_legacy(4, legacy);
+            s.insert(&env(0, 2, Value::One), sig(0));
+            s.insert(&env(1, 2, Value::Zero), sig(1));
+            s.insert(&env(1, 2, Value::One), sig(2)); // equivocator
+            s.insert(&env(3, 2, Value::One), sig(3));
+            let ones = s.collect(2, Some(Value::One), 10);
+            assert_eq!(ones.len(), 3);
+            assert!(ones.iter().all(|(e, _)| e.value == Value::One));
+            let capped = s.collect(2, None, 2);
+            assert_eq!(capped.len(), 2);
+            assert!(s.collect(5, None, 10).is_empty());
+        }
     }
 
     #[test]
     fn prune_below_drops_old_phases() {
-        let mut s = MessageStore::new(3);
-        for phase in 1..=10 {
-            s.insert(&env(0, phase, Value::One), sig(phase as u8));
+        for legacy in [false, true] {
+            let mut s = MessageStore::with_legacy(3, legacy);
+            for phase in 1..=10 {
+                s.insert(&env(0, phase, Value::One), sig(phase as u8));
+            }
+            s.prune_below(7);
+            assert_eq!(s.min_phase(), Some(7));
+            assert_eq!(s.count_phase(6), 0);
+            assert_eq!(s.count_phase(7), 1);
+            assert_eq!(s.record_count(), 4);
         }
-        s.prune_below(7);
-        assert_eq!(s.min_phase(), Some(7));
-        assert_eq!(s.count_phase(6), 0);
-        assert_eq!(s.count_phase(7), 1);
-        assert_eq!(s.record_count(), 4);
     }
 
     #[test]
@@ -431,26 +740,30 @@ mod tests {
 
     #[test]
     fn decide_phases_iterates_stored_mod3_zero() {
-        let mut s = MessageStore::new(2);
-        for phase in [1u32, 3, 4, 6, 8, 9] {
-            if phase % 3 == 0 {
-                s.insert(&env(0, phase, Value::Bot), sig(0));
-            } else {
-                s.insert(&env(0, phase, Value::One), sig(0));
+        for legacy in [false, true] {
+            let mut s = MessageStore::with_legacy(2, legacy);
+            for phase in [1u32, 3, 4, 6, 8, 9] {
+                if phase % 3 == 0 {
+                    s.insert(&env(0, phase, Value::Bot), sig(0));
+                } else {
+                    s.insert(&env(0, phase, Value::One), sig(0));
+                }
             }
+            let decides: Vec<u32> = s.decide_phases().collect();
+            assert_eq!(decides, vec![3, 6, 9]);
         }
-        let decides: Vec<u32> = s.decide_phases().collect();
-        assert_eq!(decides, vec![3, 6, 9]);
     }
 
     #[test]
     fn has_sender_queries() {
-        let mut s = MessageStore::new(3);
-        s.insert(&env(1, 4, Value::Zero), sig(0));
-        assert!(s.has_sender(4, 1));
-        assert!(!s.has_sender(4, 0));
-        assert!(s.has_sender_value(4, 1, Value::Zero));
-        assert!(!s.has_sender_value(4, 1, Value::One));
+        for legacy in [false, true] {
+            let mut s = MessageStore::with_legacy(3, legacy);
+            s.insert(&env(1, 4, Value::Zero), sig(0));
+            assert!(s.has_sender(4, 1));
+            assert!(!s.has_sender(4, 0));
+            assert!(s.has_sender_value(4, 1, Value::Zero));
+            assert!(!s.has_sender_value(4, 1, Value::One));
+        }
     }
 
     #[test]
@@ -460,22 +773,147 @@ mod tests {
         s.insert(&env(5, 1, Value::One), sig(0));
     }
 
+    #[test]
+    fn env_toggle_round_trips() {
+        // Touch the cached switch; leave it in the default state.
+        let initial = legacy_store_enabled();
+        set_legacy_store(true);
+        assert!(MessageStore::new(1).legacy);
+        set_legacy_store(false);
+        assert!(!MessageStore::new(1).legacy);
+        set_legacy_store(initial);
+    }
+
+    #[test]
+    fn combo_codes_round_trip() {
+        for value in VALUES {
+            for coin_flip in [false, true] {
+                for status in [Status::Undecided, Status::Decided] {
+                    let code = combo_code(value, coin_flip, status);
+                    assert!(code < 12);
+                    let rec = decode_code(code, sig(code));
+                    assert_eq!(rec.value, value);
+                    assert_eq!(rec.coin_flip, coin_flip);
+                    assert_eq!(rec.status, status);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_bytes_is_layout_independent_and_content_driven() {
+        let mut compact = MessageStore::with_legacy(4, false);
+        let mut legacy = MessageStore::with_legacy(4, true);
+        assert_eq!(compact.approx_bytes(), 0);
+        for s in [&mut compact, &mut legacy] {
+            s.insert(&env(0, 1, Value::One), sig(1));
+            s.insert(&env(0, 1, Value::Zero), sig(2));
+            // Same (sender, value), different status: no new signature.
+            let mut e = env(0, 1, Value::One);
+            e.status = Status::Decided;
+            s.insert(&e, sig(1));
+            s.insert(&env(2, 4, Value::Bot), sig(3));
+        }
+        assert_eq!(compact.approx_bytes(), legacy.approx_bytes());
+        // 2 phases × (22·4 + 64) + 3 signatures × 32.
+        assert_eq!(compact.approx_bytes(), 2 * (22 * 4 + 64) + 3 * 32);
+        compact.prune_below(2);
+        legacy.prune_below(2);
+        assert_eq!(compact.approx_bytes(), legacy.approx_bytes());
+        assert_eq!(compact.approx_bytes(), (22 * 4 + 64) + 32);
+    }
+
+    /// Applies the same op stream to both layouts and checks every
+    /// observable query answers identically (the in-process differential
+    /// companion to the subprocess byte-identity test in the harness).
+    fn ops_agree_across_layouts(ops: &[(usize, u32, u8, bool, u8, u8)]) {
+        let mut compact = MessageStore::with_legacy(4, false);
+        let mut legacy = MessageStore::with_legacy(4, true);
+        for &(sender, phase, v, coin, st, prune) in ops {
+            if prune == 0 {
+                compact.prune_below(phase);
+                legacy.prune_below(phase);
+            } else {
+                let value = [Value::Zero, Value::One, Value::Bot][v as usize];
+                let status = if st == 0 { Status::Undecided } else { Status::Decided };
+                let e = Envelope { sender, phase, value, coin_flip: coin, status };
+                assert_eq!(compact.insert(&e, sig(v)), legacy.insert(&e, sig(v)));
+            }
+            assert_eq!(compact.min_phase(), legacy.min_phase());
+            assert_eq!(compact.record_count(), legacy.record_count());
+            assert_eq!(compact.approx_bytes(), legacy.approx_bytes());
+            for phase in 0..9u32 {
+                assert_eq!(compact.count_phase(phase), legacy.count_phase(phase));
+                assert_eq!(compact.majority_value(phase), legacy.majority_value(phase));
+                assert_eq!(compact.any_binary_value(phase), legacy.any_binary_value(phase));
+                assert_eq!(compact.best_catch_up(phase), legacy.best_catch_up(phase));
+                for value in VALUES {
+                    assert_eq!(
+                        compact.count_value(phase, value),
+                        legacy.count_value(phase, value)
+                    );
+                    for sender in 0..4 {
+                        assert_eq!(
+                            compact.has_sender_value(phase, sender, value),
+                            legacy.has_sender_value(phase, sender, value)
+                        );
+                    }
+                    for limit in [1usize, 3, usize::MAX] {
+                        assert_eq!(
+                            compact.collect(phase, Some(value), limit),
+                            legacy.collect(phase, Some(value), limit)
+                        );
+                    }
+                }
+                for sender in 0..4 {
+                    assert_eq!(
+                        compact.has_sender(phase, sender),
+                        legacy.has_sender(phase, sender)
+                    );
+                }
+                assert_eq!(
+                    compact.collect(phase, None, usize::MAX),
+                    legacy.collect(phase, None, usize::MAX)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equivocator_with_mixed_flags_agrees_across_layouts() {
+        // An adversary signing every combination for one value plus the
+        // opposite value, interleaved with another sender and a prune.
+        ops_agree_across_layouts(&[
+            (2, 1, 1, false, 0, 1),
+            (2, 1, 1, true, 0, 1),
+            (2, 1, 1, false, 1, 1),
+            (2, 1, 1, true, 1, 1),
+            (2, 1, 0, false, 0, 1),
+            (0, 1, 2, false, 0, 1),
+            (2, 4, 1, false, 0, 1),
+            (0, 2, 0, false, 0, 0), // prune_below(2)
+            (1, 4, 0, true, 1, 1),
+        ]);
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
 
         /// Incremental tallies vs. the retired scan oracle under
         /// arbitrary interleavings of inserts (including duplicates and
         /// equivocation — repeated (sender, phase) pairs with varying
-        /// values/flags) and garbage collection (`prune_below`).
+        /// values/flags) and garbage collection (`prune_below`) — run
+        /// against both slot layouts.
         #[test]
         fn incremental_tallies_match_scan_oracle(
+            legacy in proptest::arbitrary::any::<bool>(),
             ops in proptest::collection::vec(
                 // (sender, phase, value sel, coin, status sel, prune trigger)
                 (0usize..4, 1u32..8, 0u8..3, proptest::arbitrary::any::<bool>(), 0u8..2, 0u8..16),
                 1..60,
             ),
         ) {
-            let mut s = MessageStore::new(4);
+            let mut s = MessageStore::with_legacy(4, legacy);
             for (sender, phase, v, coin, st, prune) in ops {
                 if prune == 0 {
                     // GC: drop everything below this phase.
@@ -499,6 +937,18 @@ mod tests {
                     }
                 }
             }
+        }
+
+        /// Compact vs. legacy layouts agree on every observable query
+        /// under arbitrary insert/equivocate/duplicate/GC interleavings.
+        #[test]
+        fn layouts_agree_on_all_queries(
+            ops in proptest::collection::vec(
+                (0usize..4, 1u32..8, 0u8..3, proptest::arbitrary::any::<bool>(), 0u8..2, 0u8..16),
+                1..60,
+            ),
+        ) {
+            ops_agree_across_layouts(&ops);
         }
     }
 }

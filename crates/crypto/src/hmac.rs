@@ -150,6 +150,26 @@ impl HmacKey {
     }
 }
 
+/// Derives the pairwise HMAC key for the unordered node pair `{a, b}`
+/// from the run's pre-distribution `seed` (the paper establishes IPSec
+/// security associations between every pair before the run starts).
+///
+/// The derivation is a pure function of `(seed, min(a, b), max(a, b))`
+/// — symmetric, so both endpoints of a link derive the same key, and
+/// independent of *when* it runs, so an adapter may derive keys eagerly
+/// at setup or lazily on first use of a link with bit-identical results
+/// (DESIGN.md §10).
+pub fn pairwise_key(seed: u64, a: usize, b: usize) -> HmacKey {
+    let (lo, hi) = (a.min(b), a.max(b));
+    let material = crate::sha256::sha256_concat(&[
+        b"turquois-pairwise",
+        &seed.to_be_bytes(),
+        &(lo as u64).to_be_bytes(),
+        &(hi as u64).to_be_bytes(),
+    ]);
+    HmacKey::from_bytes(material.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +291,13 @@ mod tests {
     fn debug_hides_key() {
         let key = HmacKey::from_bytes(b"topsecret");
         assert_eq!(format!("{key:?}"), "HmacKey(..)");
+    }
+
+    #[test]
+    fn pairwise_key_symmetric_and_distinct() {
+        // Symmetric in the pair, sensitive to pair and seed.
+        assert_eq!(pairwise_key(7, 0, 3).mac(b"m"), pairwise_key(7, 3, 0).mac(b"m"));
+        assert_ne!(pairwise_key(7, 0, 1).mac(b"m"), pairwise_key(7, 0, 2).mac(b"m"));
+        assert_ne!(pairwise_key(7, 0, 1).mac(b"m"), pairwise_key(8, 0, 1).mac(b"m"));
     }
 }

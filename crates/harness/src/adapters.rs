@@ -198,6 +198,7 @@ impl Application for TurquoisApp {
         Some(AppProgress {
             phase: self.instance.phase(),
             decided: self.instance.decision().is_some(),
+            store_bytes: self.instance.store_bytes(),
         })
     }
 
@@ -283,22 +284,124 @@ pub fn new_link_tags() -> SharedLinkTags {
     Rc::new(RefCell::new(MemoCache::new(LINK_TAG_CAP)))
 }
 
+/// Environment variable forcing eager pairwise-key derivation.
+///
+/// Set to any non-empty value to derive all `n` keys per node at setup,
+/// as the original adapter did — O(n²) HMAC keys per run. Tags, verify
+/// counts, and simulated times must be identical either way (key
+/// derivation is pure host work, never charged to simulated CPU); the
+/// variable exists as the differential oracle for the lazy default.
+pub const EAGER_KEYS_ENV: &str = "TURQUOIS_EAGER_KEYS";
+
+static EAGER_KEYS: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+static EAGER_KEYS_INIT: std::sync::Once = std::sync::Once::new();
+
+/// Returns whether new [`PairwiseKeys`] tables derive eagerly.
+///
+/// The first call reads [`EAGER_KEYS_ENV`]; later calls reuse the
+/// cached value unless [`set_eager_keys`] overrides it.
+pub fn eager_keys_enabled() -> bool {
+    EAGER_KEYS_INIT.call_once(|| {
+        if std::env::var_os(EAGER_KEYS_ENV).is_some_and(|v| !v.is_empty()) {
+            EAGER_KEYS.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    });
+    EAGER_KEYS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Programmatically selects the derivation mode for tables built
+/// afterwards, overriding the environment (used by the lazy-vs-eager
+/// differential test to run both modes in one process).
+pub fn set_eager_keys(enabled: bool) {
+    // Make sure the env lookup never races in after us and clobbers
+    // the explicit choice.
+    EAGER_KEYS_INIT.call_once(|| {});
+    EAGER_KEYS.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Derives the pairwise HMAC keys for `me` in a group of `n` from the
 /// pre-distribution seed (the paper establishes IPSec security
-/// associations between every pair before the run).
+/// associations between every pair before the run). The eager helper —
+/// [`PairwiseKeys`] is the lazy per-link table the adapter uses.
 pub fn pairwise_keys(me: usize, n: usize, seed: u64) -> Vec<HmacKey> {
     (0..n)
-        .map(|peer| {
-            let (a, b) = (me.min(peer), me.max(peer));
-            let material = turquois_crypto::sha256::sha256_concat(&[
-                b"turquois-pairwise",
-                &seed.to_be_bytes(),
-                &(a as u64).to_be_bytes(),
-                &(b as u64).to_be_bytes(),
-            ]);
-            HmacKey::from_bytes(material.as_bytes())
-        })
+        .map(|peer| turquois_crypto::hmac::pairwise_key(seed, me, peer))
         .collect()
+}
+
+/// One node's pairwise-key table, derived lazily by default: a key is
+/// materialised the first time its link is used (first HMAC wrap or
+/// check against that peer), so a node only ever pays for the links it
+/// actually touches instead of the full O(n²) mesh at setup. Derivation
+/// is a pure function of `(seed, pair)` (see
+/// [`turquois_crypto::hmac::pairwise_key`]), so lazy and eager modes
+/// produce bit-identical keys and tags; it is host work outside the
+/// simulated cost model, so it cannot move simulated time.
+pub struct PairwiseKeys {
+    me: usize,
+    seed: u64,
+    keys: RefCell<Vec<Option<HmacKey>>>,
+}
+
+impl std::fmt::Debug for PairwiseKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairwiseKeys")
+            .field("me", &self.me)
+            .field("derived", &self.derived_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PairwiseKeys {
+    /// Creates the table for `me` in a group of `n`, deriving eagerly
+    /// or lazily per [`eager_keys_enabled`].
+    pub fn new(me: usize, n: usize, seed: u64) -> Self {
+        PairwiseKeys::with_eager(me, n, seed, eager_keys_enabled())
+    }
+
+    /// Creates the table with an explicit derivation mode (used by the
+    /// lazy-vs-eager differential test).
+    pub fn with_eager(me: usize, n: usize, seed: u64, eager: bool) -> Self {
+        let keys = if eager {
+            (0..n)
+                .map(|peer| Some(turquois_crypto::hmac::pairwise_key(seed, me, peer)))
+                .collect()
+        } else {
+            vec![None; n]
+        };
+        PairwiseKeys {
+            me,
+            seed,
+            keys: RefCell::new(keys),
+        }
+    }
+
+    /// Group size.
+    pub fn n(&self) -> usize {
+        self.keys.borrow().len()
+    }
+
+    /// Keys materialised so far (n when eager; the links actually used
+    /// when lazy — the differential test's observable).
+    pub fn derived_count(&self) -> usize {
+        self.keys.borrow().iter().flatten().count()
+    }
+
+    /// Runs `f` with the key for the link to `peer`, deriving it first
+    /// if this is the link's first use.
+    pub fn with_key<R>(&self, peer: usize, f: impl FnOnce(&HmacKey) -> R) -> R {
+        let mut keys = self.keys.borrow_mut();
+        let slot = &mut keys[peer];
+        if slot.is_none() {
+            *slot = Some(turquois_crypto::hmac::pairwise_key(self.seed, self.me, peer));
+        }
+        f(slot.as_ref().expect("slot just filled"))
+    }
+
+    /// The HMAC tag for `message` on the link to `peer`.
+    pub fn mac(&self, peer: usize, message: &[u8]) -> Digest {
+        self.with_key(peer, |k| k.mac(message))
+    }
 }
 
 /// Bracha's protocol over the reliable (TCP-like) transport with
@@ -306,7 +409,7 @@ pub fn pairwise_keys(me: usize, n: usize, seed: u64) -> Vec<HmacKey> {
 pub struct BrachaApp {
     engine: Bracha,
     transport: ReliableEndpoint,
-    macs: Vec<HmacKey>,
+    macs: PairwiseKeys,
     cost: CostModel,
     probe: SharedProbe,
     /// Optional mutation of outgoing messages (Byzantine strategies).
@@ -335,7 +438,7 @@ impl BrachaApp {
         BrachaApp {
             engine,
             transport: ReliableEndpoint::new(me, n),
-            macs: pairwise_keys(me, n, seed),
+            macs: PairwiseKeys::new(me, n, seed),
             cost,
             probe,
             mutate: None,
@@ -355,7 +458,7 @@ impl BrachaApp {
         bytes::telemetry::count_saved(inner.len());
         self.link_tags
             .borrow_mut()
-            .lookup((lo, hi, inner.clone()), || macs[peer].mac(inner))
+            .lookup((lo, hi, inner.clone()), || macs.mac(peer, inner))
     }
 
     /// Installs an outgoing-message mutator (used by the Byzantine
@@ -372,6 +475,12 @@ impl BrachaApp {
         &self.engine
     }
 
+    /// Pairwise keys materialised so far (the lazy-derivation
+    /// observable: n when eager, the links actually touched when lazy).
+    pub fn derived_keys(&self) -> usize {
+        self.macs.derived_count()
+    }
+
     fn dispatch(&mut self, ctx: &mut NodeCtx<'_>, out: BrachaOutput) {
         if let Some(v) = out.newly_decided {
             if self.decide_enabled {
@@ -385,7 +494,7 @@ impl BrachaApp {
                 Some(m) => m(&bytes),
                 None => bytes,
             };
-            let n = self.macs.len();
+            let n = self.macs.n();
             for dst in 0..n {
                 // One HMAC per destination link (as IPSec AH would).
                 ctx.charge_cpu(self.cost.hmac(bytes.len()));
@@ -433,6 +542,7 @@ impl Application for BrachaApp {
         Some(AppProgress {
             phase: self.engine.round(),
             decided: self.engine.decision().is_some(),
+            store_bytes: self.engine.store_bytes(),
         })
     }
 }
@@ -550,6 +660,7 @@ impl Application for AbbaApp {
         Some(AppProgress {
             phase: self.engine.round(),
             decided: self.engine.decision().is_some(),
+            store_bytes: self.engine.store_bytes(),
         })
     }
 }
@@ -593,6 +704,23 @@ mod tests {
         assert_eq!(a[3].mac(b"m"), b[0].mac(b"m"));
         // Distinct pairs get distinct keys.
         assert_ne!(a[1].mac(b"m"), a[2].mac(b"m"));
+    }
+
+    #[test]
+    fn lazy_pairwise_keys_match_eager_key_by_key() {
+        let lazy = PairwiseKeys::with_eager(2, 5, 7, false);
+        let eager = PairwiseKeys::with_eager(2, 5, 7, true);
+        assert_eq!(lazy.derived_count(), 0, "lazy starts empty");
+        assert_eq!(eager.derived_count(), 5, "eager derives the full row");
+        // First use derives; the tag matches the eager key's bit for bit.
+        assert_eq!(lazy.mac(4, b"m"), eager.mac(4, b"m"));
+        assert_eq!(lazy.derived_count(), 1, "one link touched, one key");
+        for peer in 0..5 {
+            assert_eq!(lazy.mac(peer, b"payload"), eager.mac(peer, b"payload"));
+            // And both agree with the retired eager helper.
+            assert_eq!(lazy.mac(peer, b"payload"), pairwise_keys(2, 5, 7)[peer].mac(b"payload"));
+        }
+        assert_eq!(lazy.derived_count(), 5);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub struct ByzantineTurquoisApp {
     tracker: Turquois,
     keyring: KeyRing,
     generation: u64,
+    tick: Duration,
 }
 
 impl ByzantineTurquoisApp {
@@ -54,7 +55,16 @@ impl ByzantineTurquoisApp {
             tracker,
             keyring,
             generation: 0,
+            tick: TICK_INTERVAL,
         }
+    }
+
+    /// Overrides the clock-tick interval (paper default: 10 ms) — the
+    /// adversary must tick at the same rate as the correct processes it
+    /// hides among (scale grid, tick ablation).
+    pub fn tick_interval(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
     }
 
     fn lie(&self) -> Option<Message> {
@@ -71,7 +81,7 @@ impl ByzantineTurquoisApp {
             ctx.broadcast(msg.encode(), overhead::UDP);
         }
         self.generation += 1;
-        ctx.set_timer(TICK_INTERVAL, self.generation);
+        ctx.set_timer(self.tick, self.generation);
     }
 }
 
@@ -98,6 +108,7 @@ impl Application for ByzantineTurquoisApp {
         Some(wireless_net::supervise::AppProgress {
             phase: self.tracker.phase(),
             decided: false, // a Byzantine node never counts as decided
+            store_bytes: self.tracker.store_bytes(),
         })
     }
 }

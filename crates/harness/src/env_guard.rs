@@ -14,10 +14,12 @@
 pub const KNOWN_ENV_VARS: &[&str] = &[
     "TURQUOIS_BENCH_JSON",
     "TURQUOIS_CHECK_SCHEDULES",
+    "TURQUOIS_EAGER_KEYS",
     "TURQUOIS_FM_FORCE_STALL",
     "TURQUOIS_HOTPATH_JSON",
     "TURQUOIS_HOTPATH_STATS",
     "TURQUOIS_LEGACY_QUEUE",
+    "TURQUOIS_LEGACY_STORE",
     "TURQUOIS_NO_MEMO",
     "TURQUOIS_REPS",
     "TURQUOIS_SABOTAGE",

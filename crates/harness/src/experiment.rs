@@ -721,14 +721,21 @@ pub fn reps_from_env(default: usize) -> usize {
 /// defaulting to the paper's grid. Malformed entries warn on stderr;
 /// if nothing valid remains, the paper grid is used.
 pub fn sizes_from_env() -> Vec<usize> {
+    sizes_from_env_or(&PAPER_SIZES)
+}
+
+/// [`sizes_from_env`] with a caller-chosen default grid — the scale
+/// experiment (`table_scale`) defaults to n ∈ {16, 64, 256} instead of
+/// the paper's n ≤ 16 grid.
+pub fn sizes_from_env_or(default: &[usize]) -> Vec<usize> {
     let raw = match std::env::var("TURQUOIS_SIZES") {
         Ok(raw) => raw,
-        Err(std::env::VarError::NotPresent) => return PAPER_SIZES.to_vec(),
+        Err(std::env::VarError::NotPresent) => return default.to_vec(),
         Err(std::env::VarError::NotUnicode(_)) => {
             eprintln!(
-                "warning: ignoring non-UTF-8 TURQUOIS_SIZES; using the paper grid {PAPER_SIZES:?}"
+                "warning: ignoring non-UTF-8 TURQUOIS_SIZES; using the default grid {default:?}"
             );
-            return PAPER_SIZES.to_vec();
+            return default.to_vec();
         }
     };
     let mut sizes = Vec::new();
@@ -744,9 +751,9 @@ pub fn sizes_from_env() -> Vec<usize> {
     if sizes.is_empty() {
         eprintln!(
             "warning: TURQUOIS_SIZES={raw:?} contains no valid sizes; \
-             using the paper grid {PAPER_SIZES:?}"
+             using the default grid {default:?}"
         );
-        return PAPER_SIZES.to_vec();
+        return default.to_vec();
     }
     sizes
 }

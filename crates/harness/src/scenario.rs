@@ -185,6 +185,7 @@ pub struct Scenario {
     time_limit: Duration,
     key_phases: usize,
     phy: wireless_net::PhyConfig,
+    tick: Duration,
 }
 
 impl Scenario {
@@ -213,6 +214,7 @@ impl Scenario {
             time_limit: Duration::from_secs(120),
             key_phases: 600,
             phy: wireless_net::PhyConfig::default(),
+            tick: crate::adapters::TICK_INTERVAL,
         }
     }
 
@@ -271,6 +273,16 @@ impl Scenario {
     /// Overrides the PHY/MAC parameters (rates, timing, queue depth).
     pub fn phy(mut self, phy: wireless_net::PhyConfig) -> Scenario {
         self.phy = phy;
+        self
+    }
+
+    /// Overrides the Turquois clock-tick interval (paper default:
+    /// 10 ms), applied to correct and Byzantine processes alike. The
+    /// scale grid uses this to keep each tick's offered load within the
+    /// 2 Mb/s channel at n ≫ 16; no effect on the message-driven
+    /// baselines.
+    pub fn tick_interval(mut self, tick: Duration) -> Scenario {
+        self.tick = tick;
         self
     }
 
@@ -421,6 +433,7 @@ impl Scenario {
             stats: sim.stats().clone(),
             probe: probe_snapshot,
             end: sim.now(),
+            peak_store_bytes: sim.peak_store_bytes().iter().copied().max().unwrap_or(0),
         })
     }
 
@@ -438,11 +451,12 @@ impl Scenario {
             let inst = Turquois::new(cfg, i, proposal, ring.clone(), seed);
             Box::new(
                 TurquoisApp::new(inst, self.cost, probe.clone())
+                    .tick_interval(self.tick)
                     .resettable(cfg, proposal, ring, seed),
             )
         } else if self.fault_load == FaultLoad::Byzantine {
             let tracker = Turquois::new(cfg, i, proposal, ring.clone(), self.seed + 7 * i as u64);
-            Box::new(ByzantineTurquoisApp::new(tracker, ring))
+            Box::new(ByzantineTurquoisApp::new(tracker, ring).tick_interval(self.tick))
         } else {
             Box::new(CrashedApp)
         }
@@ -476,6 +490,10 @@ pub struct RunOutcome {
     pub probe: RunProbe,
     /// Simulated time when the run stopped.
     pub end: SimTime,
+    /// Largest per-node message-store high-water mark over the run
+    /// (bytes, per the engines' deterministic store-bytes probe;
+    /// see [`wireless_net::supervise::AppProgress::store_bytes`]).
+    pub peak_store_bytes: usize,
     /// Stall diagnostics, present whenever the run stopped without
     /// reaching its decision target.
     pub stall: Option<StallReport>,

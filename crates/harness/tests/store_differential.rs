@@ -1,0 +1,120 @@
+//! CI differential smoke: the compact per-sender store layout and the
+//! lazy link-tag key derivation must both be invisible to every
+//! simulated result.
+//!
+//! Two oracles guard the PR's two memory optimisations:
+//!
+//! 1. `TURQUOIS_LEGACY_STORE=1` swaps the engines back to their
+//!    retired hash-map-of-senders stores; `table1` stdout must stay
+//!    byte-identical (DESIGN.md §10, mirroring the §9 queue gate).
+//! 2. `TURQUOIS_EAGER_KEYS=1` derives Bracha's full O(n²) pairwise
+//!    HMAC key table up front, as the seed code did; a Bracha grid run
+//!    lazily must end at the same simulated time with the same
+//!    decisions and the same accept/reject counters, because key
+//!    derivation is pure host work and must never move simulated time.
+
+use std::process::Command;
+use turquois_harness::adapters::set_eager_keys;
+use turquois_harness::{Protocol, ProposalDistribution, Scenario};
+
+/// Runs the `table1` binary on a shrunk grid with the given store
+/// layout and returns its stdout.
+fn run_table1(legacy_store: bool) -> Vec<u8> {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_table1"));
+    cmd.env("TURQUOIS_SIZES", "4,7")
+        .env("TURQUOIS_REPS", "2")
+        .env("TURQUOIS_TIME_LIMIT", "120")
+        // Keep the child's host-timing JSON out of the source tree.
+        .env(
+            "TURQUOIS_BENCH_JSON",
+            std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("BENCH_store_differential.json"),
+        )
+        // The hotpath stats line aggregates host-side counters; keep it
+        // off (as it is by default) for byte comparison.
+        .env_remove("TURQUOIS_HOTPATH_STATS")
+        .env_remove("TURQUOIS_LEGACY_QUEUE");
+    if legacy_store {
+        cmd.env("TURQUOIS_LEGACY_STORE", "1");
+    } else {
+        cmd.env_remove("TURQUOIS_LEGACY_STORE");
+    }
+    let out = cmd.output().expect("table1 runs");
+    assert!(
+        out.status.success(),
+        "table1 (legacy_store={legacy_store}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn table1_output_is_byte_identical_across_store_layouts() {
+    let legacy = run_table1(true);
+    let compact = run_table1(false);
+    assert!(
+        !compact.is_empty(),
+        "table1 produced no output — smoke setup is broken"
+    );
+    assert_eq!(
+        legacy,
+        compact,
+        "store layout changed table1's stdout:\n--- legacy maps ---\n{}\n--- compact ---\n{}",
+        String::from_utf8_lossy(&legacy),
+        String::from_utf8_lossy(&compact)
+    );
+}
+
+/// What lazy key derivation is allowed to change: nothing the
+/// simulation can observe.
+#[derive(Debug, PartialEq)]
+struct BrachaFingerprint {
+    end_nanos: u64,
+    decisions: Vec<Option<bool>>,
+    accepted: Vec<u64>,
+    rejected: Vec<u64>,
+    final_phase: Vec<u32>,
+}
+
+fn run_bracha_grid(eager: bool) -> Vec<BrachaFingerprint> {
+    set_eager_keys(eager);
+    let mut prints = Vec::new();
+    for n in [4usize, 7, 10] {
+        for seed in [1u64, 99] {
+            let outcome = Scenario::new(Protocol::Bracha, n)
+                .proposals(ProposalDistribution::Divergent)
+                .seed(seed)
+                .run_once()
+                .expect("valid scenario");
+            assert!(
+                outcome.agreement_holds() && outcome.validity_holds(),
+                "safety must hold (eager={eager}, n={n}, seed={seed})"
+            );
+            let probe = &outcome.probe;
+            prints.push(BrachaFingerprint {
+                end_nanos: outcome.end.as_nanos(),
+                decisions: outcome
+                    .decisions
+                    .iter()
+                    .map(|d| d.map(|dec| dec.value))
+                    .collect(),
+                accepted: probe.accepted.clone(),
+                rejected: probe.rejected.clone(),
+                final_phase: probe.final_phase.clone(),
+            });
+        }
+    }
+    prints
+}
+
+/// Both derivation strategies run **sequentially in one test** because
+/// the eager-keys switch is process-global state.
+#[test]
+fn lazy_link_tag_keys_do_not_move_simulated_results() {
+    let eager = run_bracha_grid(true);
+    let lazy = run_bracha_grid(false);
+    set_eager_keys(false); // restore the default for any later test
+    assert_eq!(
+        eager, lazy,
+        "lazy pairwise-key derivation changed a simulated result"
+    );
+}

@@ -255,6 +255,14 @@ pub struct Simulator {
     /// (per [`Application::progress`]) or any decision.
     last_progress: SimTime,
     last_phase: Vec<Option<u32>>,
+    /// Count of `Some` entries in `decisions`, maintained incrementally
+    /// so the `run_until_k_decided` predicate — evaluated before every
+    /// event — is O(1) instead of an O(n) re-scan. Decisions are
+    /// write-once and survive rejoins, so the counter only grows.
+    decided: usize,
+    /// Per-node high-water mark of [`AppProgress::store_bytes`],
+    /// sampled in `poll_progress` after every callback.
+    peak_store: Vec<usize>,
 }
 
 impl Simulator {
@@ -290,6 +298,8 @@ impl Simulator {
             crash_describe: "no crashes".into(),
             last_progress: SimTime::ZERO,
             last_phase: vec![None; n],
+            decided: 0,
+            peak_store: vec![0; n],
             apps,
             cfg,
         };
@@ -351,9 +361,23 @@ impl Simulator {
         self.apps[node].as_ref()
     }
 
-    /// Number of nodes that have decided.
+    /// Number of nodes that have decided. O(1): maintained
+    /// incrementally by the `Decide` command (the retired per-event
+    /// re-scan of `decisions` stays on as the debug oracle).
     pub fn decided_count(&self) -> usize {
-        self.decisions.iter().flatten().count()
+        debug_assert_eq!(
+            self.decided,
+            self.decisions.iter().flatten().count(),
+            "incremental decided counter diverged from the decisions vector"
+        );
+        self.decided
+    }
+
+    /// Per-node high-water marks of the applications' store-bytes
+    /// probe ([`AppProgress::store_bytes`]); 0 for applications
+    /// without a probe.
+    pub fn peak_store_bytes(&self) -> &[usize] {
+        &self.peak_store
     }
 
     /// Processes a single event. Returns `false` if the queue is empty.
@@ -511,6 +535,7 @@ impl Simulator {
                 tx_queue_depth: self.medium.queue_len(node),
                 queue_drops: self.stats.per_node_queue_drops[node],
                 deliveries: self.stats.per_node_rx[node],
+                peak_store_bytes: self.peak_store[node],
             })
             .collect();
         StallReport {
@@ -666,6 +691,9 @@ impl Simulator {
             self.last_phase[node] = Some(p.phase);
             self.last_progress = self.last_progress.max(self.time);
         }
+        if p.store_bytes > self.peak_store[node] {
+            self.peak_store[node] = p.store_bytes;
+        }
         if let Some(spec) = self.crash_pending[node] {
             if let CrashTrigger::AtPhase(phase) = spec.trigger {
                 if p.phase >= phase {
@@ -743,6 +771,7 @@ impl Simulator {
             Command::Decide { value } => {
                 if self.decisions[node].is_none() {
                     self.decisions[node] = Some(Decision { time: at, value });
+                    self.decided += 1;
                     self.last_progress = self.last_progress.max(at);
                     self.trace.record(at, TraceEvent::Decide { node, value });
                 }
@@ -1234,6 +1263,7 @@ mod tests {
             Some(AppProgress {
                 phase: self.phase,
                 decided: false,
+                store_bytes: 16 * self.phase as usize,
             })
         }
         fn reset(&mut self) {
@@ -1341,6 +1371,9 @@ mod tests {
             let p = np.progress.expect("PhaseTicker has a probe");
             assert!(p.phase >= 5, "node {} stuck at phase {}", np.node, p.phase);
             assert!(!np.crashed);
+            // PhaseTicker reports 16 bytes per phase; the high-water
+            // mark tracks the probe.
+            assert_eq!(np.peak_store_bytes, 16 * p.phase as usize);
         }
         // Ticks kept arriving, so the progress clock is recent.
         assert!(report.last_progress >= SimTime::from_millis(35));

@@ -27,6 +27,12 @@ pub struct AppProgress {
     pub phase: u32,
     /// Whether the protocol engine has decided.
     pub decided: bool,
+    /// Approximate resident bytes of the engine's message stores right
+    /// now. Must be O(1) to compute (the simulator polls the probe
+    /// after every callback) and a function of store *contents* only —
+    /// never of the storage layout — so supervised output stays
+    /// byte-identical under `TURQUOIS_LEGACY_STORE=1`.
+    pub store_bytes: usize,
 }
 
 /// One node's diagnostic row in a [`StallReport`].
@@ -48,6 +54,9 @@ pub struct NodeProgress {
     pub queue_drops: u64,
     /// Frames delivered to this node's application.
     pub deliveries: u64,
+    /// High-water mark of [`AppProgress::store_bytes`] over the run
+    /// (0 for applications without a probe).
+    pub peak_store_bytes: usize,
 }
 
 /// A structured diagnosis of a run that stopped without satisfying its
@@ -114,13 +123,14 @@ impl fmt::Display for StallReport {
             };
             writeln!(
                 f,
-                "  n{:<3} {phase}  {}  {}  txq {:>2}  qdrops {:>4}  rx {:>6}",
+                "  n{:<3} {phase}  {}  {}  txq {:>2}  qdrops {:>4}  rx {:>6}  peak-store {:>8}B",
                 np.node,
                 if np.decided { "decided " } else { "undecided" },
                 if np.crashed { "CRASHED" } else { "up     " },
                 np.tx_queue_depth,
                 np.queue_drops,
                 np.deliveries,
+                np.peak_store_bytes,
             )?;
         }
         Ok(())
@@ -148,12 +158,14 @@ mod tests {
                     progress: Some(AppProgress {
                         phase: 41,
                         decided: true,
+                        store_bytes: 1_024,
                     }),
                     decided: true,
                     crashed: false,
                     tx_queue_depth: 0,
                     queue_drops: 0,
                     deliveries: 1293,
+                    peak_store_bytes: 2_208,
                 },
                 NodeProgress {
                     node: 1,
@@ -163,6 +175,7 @@ mod tests {
                     tx_queue_depth: 4,
                     queue_drops: 12,
                     deliveries: 1101,
+                    peak_store_bytes: 0,
                 },
             ],
         }
@@ -177,6 +190,7 @@ mod tests {
         assert!(text.contains("CRASHED"), "{text}");
         assert!(text.contains("12 queue drops"), "{text}");
         assert!(text.contains("budgeted omission"), "{text}");
+        assert!(text.contains("peak-store     2208B"), "{text}");
     }
 
     #[test]
