@@ -396,10 +396,21 @@ impl Bracha {
                     || majority_feasible(tag.round - 1, 3, StepValue::Null, 1)
             }
             2 => {
-                // The claimed majority value must be held by a majority
-                // of some (n−f)-subset: at least ⌊(n−f)/2⌋+1 step-1
-                // senders must (eventually) carry it.
-                majority_feasible(tag.round, 1, value, (self.n - self.f) / 2 + 1)
+                // The claimed majority value must be adoptable from some
+                // (n−f)-subset of step-1 senders — under the step-1
+                // tie-break (ties go to One): Zero must strictly
+                // outnumber One (⌊(n−f)/2⌋+1 senders), while One also
+                // wins a tie (⌈(n−f)/2⌉ suffice). When n−f is odd the
+                // thresholds coincide; when it is even a correct process
+                // can adopt One from a tie, and demanding the strict
+                // majority would pend its step-2 message forever —
+                // deadlocking the round once fewer than n−f step-2
+                // messages can validate.
+                let need = match value {
+                    StepValue::One => (self.n - self.f).div_ceil(2),
+                    _ => (self.n - self.f) / 2 + 1,
+                };
+                majority_feasible(tag.round, 1, value, need)
             }
             3 => match value {
                 // A binary step-3 value claims a > n/2 step-2 majority.
@@ -642,6 +653,67 @@ mod tests {
         for e in &engines {
             assert_eq!(e.decision(), Some(true), "validity must hold");
         }
+    }
+
+    #[test]
+    fn even_quorum_tie_adoption_recovers_after_partition() {
+        // n = 5, f = 1 ⇒ n − f = 4 is even: a process firing step 1 on
+        // a 2–2 tie adopts One (the tie-break). Step-2 validation must
+        // accept the resulting One with only ⌈(n−f)/2⌉ = 2 step-1
+        // One-senders in existence, or the round deadlocks. Emulated
+        // 4|1 partition: traffic crossing the split is buffered and
+        // released at the heal (what a reliable transport does), so the
+        // majority fires step 1 on exactly the four majority proposals
+        // {0, 1, 0, 1} — the tie. Proposals overall are 3×Zero, 2×One:
+        // under the pre-fix strict-majority validation the four tie-
+        // adopted step-2 Ones could never validate and nobody reached
+        // n − f step-2 acceptances — the queue drained undecided.
+        let n = 5;
+        let mut engines = group(n, 1, &[false, true, false, true, false], 5);
+        let mut queue: Vec<(usize, usize, Bytes)> = Vec::new();
+        let mut held: Vec<(usize, usize, Bytes)> = Vec::new();
+        for e in engines.iter_mut() {
+            let out = e.on_start();
+            let me = e.id();
+            for b in out.send {
+                for to in 0..n {
+                    queue.push((me, to, b.clone()));
+                }
+            }
+        }
+        let mut healed = false;
+        let mut iters = 0;
+        while !engines.iter().all(|e| e.decision().is_some()) {
+            // Heal once the majority side has run its course: decided
+            // (fixed validation) or wedged with the network quiescent
+            // (the pre-fix deadlock).
+            if !healed
+                && (queue.is_empty() || engines[..4].iter().all(|e| e.decision().is_some()))
+            {
+                healed = true;
+                queue.append(&mut held);
+            }
+            let Some((from, to, bytes)) = queue.pop() else {
+                panic!("deadlock: network quiescent after heal, undecided");
+            };
+            iters += 1;
+            assert!(iters < 5_000_000, "livelock");
+            if !healed && (from == 4) != (to == 4) {
+                held.push((from, to, bytes));
+                continue;
+            }
+            let out = engines[to].on_message(from, &bytes);
+            for b in out.send {
+                for dst in 0..n {
+                    queue.push((to, dst, b.clone()));
+                }
+            }
+        }
+        let first = engines[0].decision().expect("all decided");
+        assert!(
+            engines.iter().all(|e| e.decision() == Some(first)),
+            "agreement after heal"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! equivocator: two honest trackers with opposite proposals, each
 //! receiver shown the tracker its mask bit selects.
 
-use crate::schedule::{ByzStrategy, EngineKind, FaultKind, Schedule};
+use crate::schedule::{ByzStrategy, EngineKind, FaultKind, Partition, Schedule};
 use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -128,11 +128,21 @@ enum Side {
 /// One queued delivery: `(seq, from, to, side, bytes)`.
 type Delivery = (u64, usize, usize, Side, Bytes);
 
-/// In-flight messages with fault application at send time.
+/// In-flight messages with fault and partition application at send
+/// time.
 struct Net {
     queue: BTreeMap<u32, Vec<Delivery>>,
     faults: BTreeMap<(u32, usize, usize), FaultKind>,
     window: u32,
+    /// The schedule's split/heal action, if any (window-gated like the
+    /// faults).
+    partition: Option<Partition>,
+    /// Bit `i` set means process `i` is correct — the partition never
+    /// cuts a Byzantine endpoint (the equivocator straddles the split).
+    correct_mask: u64,
+    /// Reliable-link engines (the baselines) buffer cross-split traffic
+    /// until the heal instead of dropping it.
+    reliable: bool,
     seq: u64,
     jitter: u64,
     delivered: u64,
@@ -152,10 +162,19 @@ impl Net {
         for f in &s.faults {
             faults.entry((f.round, f.from, f.to)).or_insert(f.kind);
         }
+        let mut correct_mask = 0u64;
+        for id in 0..s.n {
+            if !s.is_byz(id) {
+                correct_mask |= 1 << id;
+            }
+        }
         Net {
             queue: BTreeMap::new(),
             faults,
             window: s.window,
+            partition: s.partition,
+            correct_mask,
+            reliable: !matches!(s.engine, EngineKind::Turquois),
             seq: 0,
             jitter: mix64(s.seed ^ 0x6a09e667f3bcc908),
             delivered: 0,
@@ -193,13 +212,35 @@ impl Net {
         } else {
             None
         };
+        // The split cuts correct↔correct edges crossing the mask while
+        // active (and inside the window, like every fault): Turquois'
+        // broadcasts are lost outright; the baselines' reliable links
+        // buffer the bytes and release them at the heal.
+        let cut = round <= self.window
+            && self.partition.is_some_and(|p| {
+                p.active(round)
+                    && p.crosses(from, to)
+                    && self.correct_mask >> from & 1 == 1
+                    && self.correct_mask >> to & 1 == 1
+            });
+        if cut && !self.reliable {
+            self.dropped += 1;
+            return;
+        }
+        let floor = if cut {
+            self.partition.expect("cut implies a partition").heal_round
+        } else {
+            0
+        };
         match kind {
-            None => self.push(base_due, from, to, side, bytes),
+            None => self.push(base_due.max(floor), from, to, side, bytes),
             Some(FaultKind::Drop) => self.dropped += 1,
-            Some(FaultKind::Delay(by)) => self.push(base_due + by, from, to, side, bytes),
+            Some(FaultKind::Delay(by)) => {
+                self.push((base_due + by).max(floor), from, to, side, bytes)
+            }
             Some(FaultKind::Duplicate) => {
-                self.push(base_due, from, to, side, bytes.clone());
-                self.push(base_due + 1, from, to, side, bytes);
+                self.push(base_due.max(floor), from, to, side, bytes.clone());
+                self.push((base_due + 1).max(floor), from, to, side, bytes);
             }
         }
     }
@@ -756,10 +797,14 @@ fn finish(
     }
 
     // Liveness: within the omission budget every correct process must
-    // decide (Turquois); the reliable-link baselines must always decide.
+    // decide (Turquois); the reliable-link baselines must always decide
+    // — unless a partition is in play (its heal may sit past
+    // `max_rounds`, and pre-heal no-decision is the *expected* outcome
+    // for a sub-quorum side; the partition fixtures assert decision
+    // explicitly on healed runs instead).
     let liveness_guaranteed = match s.engine {
         EngineKind::Turquois => eligible,
-        EngineKind::Bracha | EngineKind::Abba => true,
+        EngineKind::Bracha | EngineKind::Abba => s.partition.is_none(),
     };
     if violation.is_none() && liveness_guaranteed {
         let undecided: Vec<usize> = correct
@@ -798,6 +843,7 @@ mod tests {
             window: 6,
             max_rounds: 66,
             faults: Vec::new(),
+            partition: None,
         }
     }
 

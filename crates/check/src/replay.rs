@@ -14,6 +14,7 @@
 //! max-rounds 40
 //! proposals 1 0 1 0 1        # one bit per process, in id order
 //! byz 4 split 3              # id, strategy (split|flip), receiver mask
+//! partition 7 1 13           # side-A mask, split round, heal round
 //! fault drop 2 0 3           # round from to
 //! fault delay 2 1 3 2        # round from to extra-rounds
 //! fault dup 3 0 1            # round from to
@@ -25,7 +26,7 @@
 //! `agreement`, `validity`, `liveness`. [`to_text`] and [`parse`]
 //! round-trip exactly, so fixtures stay in canonical form.
 
-use crate::schedule::{ByzSpec, ByzStrategy, EngineKind, Fault, FaultKind, Schedule};
+use crate::schedule::{ByzSpec, ByzStrategy, EngineKind, Fault, FaultKind, Partition, Schedule};
 
 /// What replaying a fixture must produce.
 #[derive(Clone, Copy, Debug, Eq, PartialEq)]
@@ -78,6 +79,12 @@ pub fn to_text(s: &Schedule, expect: Expectation, comments: &[&str]) -> String {
     for b in &s.byz {
         out.push_str(&format!("byz {} {} {}\n", b.id, b.strategy.name(), b.mask));
     }
+    if let Some(p) = &s.partition {
+        out.push_str(&format!(
+            "partition {} {} {}\n",
+            p.mask, p.split_round, p.heal_round
+        ));
+    }
     for f in &s.faults {
         match f.kind {
             FaultKind::Drop => {
@@ -108,6 +115,7 @@ pub fn parse(text: &str) -> Result<(Schedule, Expectation), String> {
     let mut max_rounds = None;
     let mut proposals = None;
     let mut byz = Vec::new();
+    let mut partition = None;
     let mut faults = Vec::new();
     let mut expect = None;
 
@@ -153,6 +161,19 @@ pub fn parse(text: &str) -> Result<(Schedule, Expectation), String> {
                     mask: num(rest[2]).map_err(ctx)?,
                 });
             }
+            "partition" => {
+                if rest.len() != 3 {
+                    return Err(ctx("partition needs `mask split-round heal-round`".into()));
+                }
+                if partition.is_some() {
+                    return Err(ctx("duplicate partition line".into()));
+                }
+                partition = Some(Partition {
+                    mask: num(rest[0]).map_err(ctx)?,
+                    split_round: num(rest[1]).map_err(ctx)?,
+                    heal_round: num(rest[2]).map_err(ctx)?,
+                });
+            }
             "fault" => {
                 let (kind_word, args) = rest
                     .split_first()
@@ -192,6 +213,7 @@ pub fn parse(text: &str) -> Result<(Schedule, Expectation), String> {
         window: window.ok_or("missing `window` line")?,
         max_rounds: max_rounds.ok_or("missing `max-rounds` line")?,
         faults,
+        partition,
     };
     if schedule.proposals.len() != schedule.n {
         return Err(format!(
@@ -239,6 +261,7 @@ mod tests {
                 Fault { round: 2, from: 1, to: 3, kind: FaultKind::Delay(2) },
                 Fault { round: 3, from: 0, to: 1, kind: FaultKind::Duplicate },
             ],
+            partition: None,
         }
     }
 
@@ -269,12 +292,35 @@ mod tests {
     }
 
     #[test]
+    fn partition_line_round_trips() {
+        let mut s = sample();
+        s.partition = Some(Partition {
+            mask: 0b00111,
+            split_round: 1,
+            heal_round: 9,
+        });
+        let text = to_text(&s, Expectation::Clean, &[]);
+        assert!(text.contains("partition 7 1 9\n"), "{text}");
+        let (parsed, _) = parse(&text).unwrap();
+        assert_eq!(parsed, s);
+        assert_eq!(to_text(&parsed, Expectation::Clean, &[]), text);
+    }
+
+    #[test]
     fn rejects_malformed_fixtures() {
         assert!(parse("").is_err());
         assert!(parse("engine nope\n").is_err());
         let text = to_text(&sample(), Expectation::Clean, &[]);
         assert!(parse(&text.replace("expect clean", "expect sideways")).is_err());
         assert!(parse(&text.replace("n 5", "n 3")).is_err(), "proposal/n mismatch");
-        assert!(parse(&(text + "wobble 3\n")).is_err(), "unknown key");
+        assert!(parse(&(text.clone() + "wobble 3\n")).is_err(), "unknown key");
+        assert!(
+            parse(&(text.clone() + "partition 3 1\n")).is_err(),
+            "partition arity"
+        );
+        assert!(
+            parse(&(text + "partition 3 1 9\npartition 3 1 9\n")).is_err(),
+            "duplicate partition"
+        );
     }
 }

@@ -57,6 +57,37 @@ pub enum FaultKind {
     Duplicate,
 }
 
+/// A first-class network split: a schedule *action* rather than a pile
+/// of per-edge faults. Messages between correct processes on opposite
+/// sides of the mask, sent in rounds `split_round..heal_round` (and
+/// inside the adversarial window, like every fault), are cut — dropped
+/// on Turquois' unreliable broadcasts, buffered until the heal by the
+/// baselines' reliable links. Byzantine processes straddle the split (a
+/// node at the partition boundary hears both sides — the strongest
+/// equivocation position), so their edges are never cut.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct Partition {
+    /// Side-A membership: bit `i` set puts process `i` on side A.
+    pub mask: u64,
+    /// First round (1-based, inclusive) in which the split is active.
+    pub split_round: u32,
+    /// First round in which the network is whole again (exclusive end;
+    /// the heal is the action of *this* round).
+    pub heal_round: u32,
+}
+
+impl Partition {
+    /// Whether the split is active for messages sent in `round`.
+    pub fn active(&self, round: u32) -> bool {
+        (self.split_round..self.heal_round).contains(&round)
+    }
+
+    /// Whether a `from → to` delivery crosses the split boundary.
+    pub fn crosses(&self, from: usize, to: usize) -> bool {
+        (self.mask >> from & 1) != (self.mask >> to & 1)
+    }
+}
+
 /// One injected delivery fault.
 #[derive(Clone, Copy, Debug, Eq, PartialEq)]
 pub struct Fault {
@@ -135,6 +166,8 @@ pub struct Schedule {
     pub max_rounds: u32,
     /// Injected delivery faults.
     pub faults: Vec<Fault>,
+    /// Optional split/heal action (see [`Partition`]).
+    pub partition: Option<Partition>,
 }
 
 impl Schedule {
@@ -166,6 +199,14 @@ impl Schedule {
     /// are budget-eligible iff no correct→correct transmission is ever
     /// dropped outright.
     pub fn within_sigma_budget(&self) -> bool {
+        // A split cuts every cross-side correct↔correct edge on every
+        // round it is active — past any per-round omission budget — so
+        // partitioned schedules never carry a liveness guarantee.
+        // (Post-heal decision is still asserted, by the sweep-level
+        // `decided == explored` check and the partition fixtures.)
+        if self.partition.is_some() {
+            return false;
+        }
         let correct = |id: usize| !self.is_byz(id);
         match self.engine {
             EngineKind::Turquois => {
@@ -217,11 +258,12 @@ const RECOVERY: u32 = 78;
 /// 1. **heavy** — i.i.d. per-edge faults at ~25% (safety-only for
 ///    Turquois; delays instead of drops for the reliable-link
 ///    baselines);
-/// 2. **partition** — the correct processes are split in two halves
-///    whose mutual traffic is dropped (Turquois) or delayed past the
-///    window (baselines) while every Byzantine process equivocates
-///    along the same split — equivocation delivered to exactly one
-///    quorum;
+/// 2. **partition** — a first-class [`Partition`] action splits the
+///    correct processes in two halves for the whole window (cross
+///    traffic dropped for Turquois, buffered to the heal for the
+///    reliable-link baselines) while every Byzantine process
+///    equivocates along the same split — equivocation delivered to
+///    exactly one quorum;
 /// 3. **targeted** — all traffic towards a victim subset is dropped or
 ///    delayed (asymmetric omission).
 pub fn generate(params: &GenParams, index: u64) -> Schedule {
@@ -256,6 +298,7 @@ pub fn generate(params: &GenParams, index: u64) -> Schedule {
     let correct: Vec<usize> = (0..n).filter(|id| !byz_ids.contains(id)).collect();
 
     let mut faults: Vec<Fault> = Vec::new();
+    let mut partition: Option<Partition> = None;
     let mut masks: Vec<u64> = byz_ids.iter().map(|_| rng.gen::<u64>()).collect();
     let reliable = !matches!(params.engine, EngineKind::Turquois);
     let window = WINDOW;
@@ -323,10 +366,10 @@ pub fn generate(params: &GenParams, index: u64) -> Schedule {
             }
         }
         2 => {
-            // Partition: side A = first half of the correct processes.
+            // Partition: side A = first half of the correct processes,
+            // split for the whole window, healed at its end — as one
+            // schedule action instead of O(window · |A| · |B|) faults.
             let split = correct.len().div_ceil(2);
-            let side_a = &correct[..split];
-            let side_b = &correct[split..];
             let mut mask = 0u64;
             for (i, &id) in correct.iter().enumerate() {
                 proposals[id] = i >= split; // A proposes false, B true
@@ -335,25 +378,11 @@ pub fn generate(params: &GenParams, index: u64) -> Schedule {
                 }
             }
             masks.fill(mask);
-            for round in 1..=window {
-                for &a in side_a {
-                    for &b in side_b {
-                        for (x, y) in [(a, b), (b, a)] {
-                            let kind = if reliable {
-                                FaultKind::Delay(window + 1 - round)
-                            } else {
-                                FaultKind::Drop
-                            };
-                            faults.push(Fault {
-                                round,
-                                from: x,
-                                to: y,
-                                kind,
-                            });
-                        }
-                    }
-                }
-            }
+            partition = Some(Partition {
+                mask,
+                split_round: 1,
+                heal_round: window + 1,
+            });
         }
         _ => {
             // Targeted asymmetric omission against a victim subset.
@@ -405,6 +434,7 @@ pub fn generate(params: &GenParams, index: u64) -> Schedule {
         window,
         max_rounds: window + RECOVERY,
         faults,
+        partition,
     }
 }
 
@@ -455,10 +485,50 @@ mod tests {
             for index in 0..32 {
                 let s = generate(&params, index);
                 assert!(
-                    s.within_sigma_budget(),
+                    !s.faults.iter().any(|f| matches!(f.kind, FaultKind::Drop)
+                        && !s.is_byz(f.from)
+                        && !s.is_byz(f.to)),
                     "{} schedule {index} drops correct traffic",
                     engine.name()
                 );
+                // A partition buffers (never drops) baseline traffic but
+                // still voids the liveness budget by fiat.
+                assert_eq!(
+                    s.within_sigma_budget(),
+                    s.partition.is_none(),
+                    "{} schedule {index}",
+                    engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_variant_is_a_schedule_action() {
+        for engine in [EngineKind::Turquois, EngineKind::Bracha] {
+            let params = GenParams {
+                engine,
+                n: 7,
+                base_seed: 13,
+            };
+            for index in 0..32 {
+                let s = generate(&params, index);
+                if index % 4 != 2 {
+                    assert_eq!(s.partition, None, "variant {} got a partition", index % 4);
+                    continue;
+                }
+                let p = s.partition.expect("partition variant carries the action");
+                assert!(s.faults.is_empty(), "partition is an action, not a fault pile");
+                assert_eq!((p.split_round, p.heal_round), (1, s.window + 1));
+                assert!(!s.within_sigma_budget(), "partitioned schedules are ineligible");
+                // Every Byzantine mask equivocates along the split, and
+                // both sides hold at least one correct process.
+                for b in &s.byz {
+                    assert_eq!(b.mask, p.mask, "byz mask tracks the partition split");
+                }
+                let correct: Vec<usize> = (0..s.n).filter(|&id| !s.is_byz(id)).collect();
+                let side_a = correct.iter().filter(|&&id| p.mask >> id & 1 == 1).count();
+                assert!(side_a > 0 && side_a < correct.len(), "both sides populated");
             }
         }
     }

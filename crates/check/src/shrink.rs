@@ -10,9 +10,11 @@
 //!    list, halving the chunk size down to single faults, to a fixpoint.
 //! 2. **Byzantine demotion**: try turning each Byzantine process back
 //!    into a correct one.
-//! 3. **Window reduction**: try halving the adversarial window (which
-//!    disables the faults beyond it), then trimming it to the last
-//!    fault round.
+//! 3. **Partition removal**: try running the schedule with its
+//!    split/heal action deleted.
+//! 4. **Window reduction**: try halving the adversarial window (which
+//!    disables the faults — and the partition — beyond it), then
+//!    trimming it to the last fault round.
 //!
 //! The whole pass is deterministic — same input, same checker, same
 //! minimal schedule — so shrunk counterexamples can be checked into
@@ -106,7 +108,19 @@ pub fn shrink(failing: &Schedule, check: impl Fn(&Schedule) -> Option<Violation>
         }
     }
 
-    // Phase 3: tighten the adversarial window.
+    // Phase 3: try healing the network entirely (drop the partition).
+    if best.partition.is_some() {
+        let mut candidate = best.clone();
+        candidate.partition = None;
+        attempts += 1;
+        if let Some(v) = check(&candidate) {
+            trace.push("drop partition".into());
+            best = candidate;
+            violation = v;
+        }
+    }
+
+    // Phase 4: tighten the adversarial window.
     loop {
         let last_fault = best.faults.iter().map(|f| f.round).max().unwrap_or(0);
         let target = if best.window / 2 >= last_fault {
@@ -148,7 +162,7 @@ pub fn shrink(failing: &Schedule, check: impl Fn(&Schedule) -> Option<Violation>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schedule::{ByzSpec, ByzStrategy, EngineKind, Fault, FaultKind};
+    use crate::schedule::{ByzSpec, ByzStrategy, EngineKind, Fault, FaultKind, Partition};
 
     /// Synthetic checker: fails iff the schedule still contains the one
     /// load-bearing fault (round 3, 0 -> 1 drop) AND a Byzantine p2.
@@ -195,6 +209,11 @@ mod tests {
             window: 8,
             max_rounds: 40,
             faults,
+            partition: Some(Partition {
+                mask: 0b0011,
+                split_round: 1,
+                heal_round: 9,
+            }),
         }
     }
 
@@ -208,7 +227,24 @@ mod tests {
         assert_eq!(result.schedule.byz.len(), 1);
         assert_eq!(result.schedule.byz[0].id, 2);
         assert_eq!(result.schedule.window, 3);
+        assert_eq!(result.schedule.partition, None, "idle partition not removed");
         assert!(synthetic_check(&result.schedule).is_some());
+    }
+
+    #[test]
+    fn load_bearing_partition_survives_shrinking() {
+        // Checker fails iff the partition is still present — everything
+        // else must be stripped, the split/heal action must stay.
+        let check = |s: &Schedule| {
+            s.partition.map(|_| Violation::Liveness {
+                undecided: vec![1],
+                detail: "synthetic".into(),
+            })
+        };
+        let result = shrink(&bloated(), check);
+        assert!(result.schedule.faults.is_empty());
+        assert!(result.schedule.byz.is_empty());
+        assert_eq!(result.schedule.partition, bloated().partition);
     }
 
     #[test]

@@ -475,6 +475,12 @@ impl BrachaApp {
         &self.engine
     }
 
+    /// Read access to the reliable transport (post-run diagnostics:
+    /// sent/delivered/retransmit counters).
+    pub fn transport(&self) -> &ReliableEndpoint {
+        &self.transport
+    }
+
     /// Pairwise keys materialised so far (the lazy-derivation
     /// observable: n when eager, the links actually touched when lazy).
     pub fn derived_keys(&self) -> usize {
@@ -510,6 +516,10 @@ impl Application for BrachaApp {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
         let out = self.engine.on_start();
         self.dispatch(ctx, out);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: ReceivedFrame) {

@@ -18,9 +18,11 @@ pub const KNOWN_ENV_VARS: &[&str] = &[
     "TURQUOIS_FM_FORCE_STALL",
     "TURQUOIS_HOTPATH_JSON",
     "TURQUOIS_HOTPATH_STATS",
+    "TURQUOIS_LEGACY_MEDIUM",
     "TURQUOIS_LEGACY_QUEUE",
     "TURQUOIS_LEGACY_STORE",
     "TURQUOIS_NO_MEMO",
+    "TURQUOIS_PARTITION_JSON",
     "TURQUOIS_REPS",
     "TURQUOIS_SABOTAGE",
     "TURQUOIS_SIMCORE_JSON",
@@ -58,12 +60,21 @@ mod tests {
         // so keep every case in a single #[test] to avoid races with
         // parallel test threads touching TURQUOIS_* variables.
         std::env::set_var("TURQUOIS_REPETITIONS", "50");
+        std::env::set_var("TURQUOIS_LEGACY_MEDUIM", "1");
         std::env::set_var("TURQUOIS_REPS", "2");
+        std::env::set_var("TURQUOIS_LEGACY_MEDIUM", "1");
+        std::env::set_var("TURQUOIS_PARTITION_JSON", "/tmp/bp.json");
         let unknown = warn_unknown_env_vars();
         std::env::remove_var("TURQUOIS_REPETITIONS");
+        std::env::remove_var("TURQUOIS_LEGACY_MEDUIM");
         std::env::remove_var("TURQUOIS_REPS");
+        std::env::remove_var("TURQUOIS_LEGACY_MEDIUM");
+        std::env::remove_var("TURQUOIS_PARTITION_JSON");
         assert!(unknown.contains(&"TURQUOIS_REPETITIONS".to_string()));
+        assert!(unknown.contains(&"TURQUOIS_LEGACY_MEDUIM".to_string()));
         assert!(!unknown.contains(&"TURQUOIS_REPS".to_string()));
+        assert!(!unknown.contains(&"TURQUOIS_LEGACY_MEDIUM".to_string()));
+        assert!(!unknown.contains(&"TURQUOIS_PARTITION_JSON".to_string()));
     }
 
     #[test]

@@ -466,6 +466,7 @@ mod tests {
             last_progress: SimTime::ZERO,
             fault: "test".into(),
             crashes: "no crashes".into(),
+            topology: "single broadcast domain".into(),
             queue_drops: 0,
             nodes: Vec::new(),
         }

@@ -20,6 +20,7 @@ use wireless_net::supervise::StallReport;
 use wireless_net::sim::{Application, CrashedApp, Decision, RunStatus, SimConfig, Simulator};
 use wireless_net::stats::NetStats;
 use wireless_net::time::SimTime;
+use wireless_net::topology::TopologySpec;
 
 /// The protocol under test.
 #[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
@@ -186,6 +187,7 @@ pub struct Scenario {
     key_phases: usize,
     phy: wireless_net::PhyConfig,
     tick: Duration,
+    topology: TopologySpec,
 }
 
 impl Scenario {
@@ -215,6 +217,7 @@ impl Scenario {
             key_phases: 600,
             phy: wireless_net::PhyConfig::default(),
             tick: crate::adapters::TICK_INTERVAL,
+            topology: TopologySpec::SingleDomain,
         }
     }
 
@@ -283,6 +286,17 @@ impl Scenario {
     /// baselines.
     pub fn tick_interval(mut self, tick: Duration) -> Scenario {
         self.tick = tick;
+        self
+    }
+
+    /// Sets the radio topology (default: the paper's single one-hop
+    /// broadcast domain). Partition schedules, static spatial layouts,
+    /// and random-waypoint mobility compose freely with
+    /// [`Scenario::loss`], [`Scenario::crashes`], and the fault load —
+    /// the topology decides who *can* hear a frame, the loss model then
+    /// drops among those who would.
+    pub fn topology(mut self, topology: TopologySpec) -> Scenario {
+        self.topology = topology;
         self
     }
 
@@ -380,6 +394,7 @@ impl Scenario {
         let sim_cfg = SimConfig {
             seed: self.seed,
             phy: self.phy,
+            topology: self.topology.clone(),
             ..SimConfig::default()
         };
         let mut sim = Simulator::new(sim_cfg, self.loss.build(self.seed), apps);

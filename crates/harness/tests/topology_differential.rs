@@ -1,0 +1,57 @@
+//! CI differential smoke: the topology-aware medium engine must be
+//! invisible whenever the topology is the paper's single broadcast
+//! domain. Runs the `table1` binary twice on a shrunk grid — once on
+//! the verbatim legacy arbiter via `TURQUOIS_LEGACY_MEDIUM=1`, once on
+//! the default topology engine — and asserts the stdout bytes are
+//! identical. Any divergence means the general engine changed a
+//! contention, collision, or delivery decision in the fully-connected
+//! case (see DESIGN.md §11 and `wireless_net::medium`).
+
+use std::process::Command;
+
+/// Runs the `table1` binary on a shrunk grid with the given medium
+/// engine and returns its stdout.
+fn run_table1(legacy_medium: bool) -> Vec<u8> {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_table1"));
+    cmd.env("TURQUOIS_SIZES", "4,7")
+        .env("TURQUOIS_REPS", "2")
+        .env("TURQUOIS_TIME_LIMIT", "120")
+        // Keep the child's host-timing JSON out of the source tree.
+        .env(
+            "TURQUOIS_BENCH_JSON",
+            std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
+                .join("BENCH_topology_differential.json"),
+        )
+        // The hotpath stats line aggregates host-side counters; keep it
+        // off (as it is by default) for byte comparison.
+        .env_remove("TURQUOIS_HOTPATH_STATS");
+    if legacy_medium {
+        cmd.env("TURQUOIS_LEGACY_MEDIUM", "1");
+    } else {
+        cmd.env_remove("TURQUOIS_LEGACY_MEDIUM");
+    }
+    let out = cmd.output().expect("table1 runs");
+    assert!(
+        out.status.success(),
+        "table1 (legacy_medium={legacy_medium}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn table1_output_is_byte_identical_across_medium_engines() {
+    let legacy = run_table1(true);
+    let topo = run_table1(false);
+    assert!(
+        !topo.is_empty(),
+        "table1 produced no output — smoke setup is broken"
+    );
+    assert_eq!(
+        legacy,
+        topo,
+        "medium engine changed table1's stdout:\n--- legacy single-domain ---\n{}\n--- topology engine ---\n{}",
+        String::from_utf8_lossy(&legacy),
+        String::from_utf8_lossy(&topo)
+    );
+}

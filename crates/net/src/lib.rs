@@ -66,6 +66,7 @@ pub mod sim;
 pub mod stats;
 pub mod supervise;
 pub mod time;
+pub mod topology;
 pub mod trace;
 
 pub use config::PhyConfig;
@@ -74,3 +75,4 @@ pub use frame::{Addressing, Frame, NodeId, ReceivedFrame};
 pub use sim::{Application, Decision, NodeCtx, RunStatus, SimConfig, Simulator};
 pub use supervise::{AppProgress, NodeProgress, StallReport};
 pub use time::SimTime;
+pub use topology::{Connectivity, PartitionSchedule, Topology, TopologySpec};

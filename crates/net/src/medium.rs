@@ -22,12 +22,29 @@
 //! schedules its own events. Instead every mutation bumps an epoch, and
 //! the simulator re-queries [`Medium::next_resolution`] and schedules a
 //! resolution event carrying that epoch; stale events are ignored.
+//!
+//! Since the topology refactor the medium is a dispatcher over two
+//! engines. The default is the topology-aware engine
+//! (`medium/topo.rs`): per-node carrier sense against a
+//! [`crate::topology::Topology`], concurrent transmission groups where
+//! transmitters cannot sense each other (hidden terminals, partition
+//! islands), and per-receiver [`Reception`]. The original single-domain
+//! arbiter is preserved verbatim (`medium/legacy.rs`) behind
+//! [`LEGACY_MEDIUM_ENV`] and must stay **byte-identical** to the
+//! topology engine on every single-domain experiment — the same
+//! differential discipline as `TURQUOIS_LEGACY_QUEUE` and
+//! `TURQUOIS_LEGACY_STORE` (DESIGN.md §11).
+
+mod legacy;
+mod topo;
 
 use crate::config::PhyConfig;
-use crate::frame::{Addressing, Frame, NodeId};
+use crate::frame::{Frame, NodeId};
 use crate::time::SimTime;
+use crate::topology::{self, Connectivity, TopologySpec};
 use rand::RngCore;
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
 use std::time::Duration;
 
 /// A frame waiting in (or re-queued to) a node's transmit queue.
@@ -39,6 +56,31 @@ pub struct PendingTx {
     pub attempt: u32,
 }
 
+/// Which receivers can decode a completed transmission (before the
+/// fault model has its say).
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum Reception {
+    /// Every node other than the transmitter decodes the frame — the
+    /// single-domain collision-free case.
+    Everyone,
+    /// No node decodes the frame (collision, or nobody in range).
+    Nobody,
+    /// Exactly these nodes decode the frame (sorted ascending).
+    Subset(Vec<NodeId>),
+}
+
+impl Reception {
+    /// Whether `rx` decodes the frame. `Everyone` answers for any id;
+    /// the caller is responsible for excluding the transmitter itself.
+    pub fn hears(&self, rx: NodeId) -> bool {
+        match self {
+            Reception::Everyone => true,
+            Reception::Nobody => false,
+            Reception::Subset(v) => v.binary_search(&rx).is_ok(),
+        }
+    }
+}
+
 /// A transmission that just finished.
 #[derive(Clone, Debug)]
 pub struct CompletedTx {
@@ -48,63 +90,133 @@ pub struct CompletedTx {
     pub frame: Frame,
     /// Attempt number of this transmission.
     pub attempt: u32,
-    /// `true` if this transmission collided with another.
+    /// `true` if this transmission was garbled by interference at one
+    /// or more receivers (in a single domain: it collided).
     pub collision: bool,
+    /// Who decodes the frame.
+    pub reception: Reception,
 }
 
 /// Opaque token tying a scheduled resolution event to the medium state it
 /// was computed from.
 pub type Epoch = u64;
 
+/// Environment variable selecting the legacy single-domain arbiter for
+/// byte-identity differentials (any non-empty value enables it).
+pub const LEGACY_MEDIUM_ENV: &str = "TURQUOIS_LEGACY_MEDIUM";
+
+static LEGACY_MEDIUM: AtomicBool = AtomicBool::new(false);
+static LEGACY_MEDIUM_INIT: Once = Once::new();
+
+/// Returns whether new single-domain simulators use the legacy
+/// arbiter.
+///
+/// The first call reads [`LEGACY_MEDIUM_ENV`]; later calls reuse the
+/// cached value unless [`set_legacy_medium`] overrides it. The flag
+/// only affects single-domain configurations — a non-default topology
+/// always gets the topology-aware engine.
+pub fn legacy_medium_enabled() -> bool {
+    LEGACY_MEDIUM_INIT.call_once(|| {
+        if std::env::var_os(LEGACY_MEDIUM_ENV).is_some_and(|v| !v.is_empty()) {
+            LEGACY_MEDIUM.store(true, Ordering::Relaxed);
+        }
+    });
+    LEGACY_MEDIUM.load(Ordering::Relaxed)
+}
+
+/// Programmatically selects the medium engine for simulators built
+/// afterwards, overriding the environment (used by differential
+/// tests to run both engines in one process).
+pub fn set_legacy_medium(enabled: bool) {
+    // Make sure the env lookup never races in after us and clobbers
+    // the explicit choice.
+    LEGACY_MEDIUM_INIT.call_once(|| {});
+    LEGACY_MEDIUM.store(enabled, Ordering::Relaxed);
+}
+
 #[derive(Debug)]
-struct InFlight {
-    txs: Vec<(NodeId, PendingTx)>,
-    end: SimTime,
+enum Engine {
+    Legacy(legacy::LegacyMedium),
+    Topo(topo::TopoMedium),
 }
 
 /// The shared-medium arbiter. See the module docs for the model.
 #[derive(Debug)]
 pub struct Medium {
-    phy: PhyConfig,
-    free_at: SimTime,
-    in_flight: Option<InFlight>,
-    queues: Vec<VecDeque<PendingTx>>,
-    /// Remaining backoff slots of each node's head frame; `None` when the
-    /// node has nothing to contend with.
-    backoffs: Vec<Option<u32>>,
-    epoch: Epoch,
-    /// Duration of the transmission that just finished (for stats).
-    last_busy: Duration,
+    engine: Engine,
 }
 
 impl Medium {
-    /// Creates a medium for `n` nodes with the given PHY parameters.
+    /// Creates a single-broadcast-domain medium for `n` nodes with the
+    /// given PHY parameters, honoring [`LEGACY_MEDIUM_ENV`].
     pub fn new(n: usize, phy: PhyConfig) -> Self {
+        Medium::with_topology(n, phy, &TopologySpec::SingleDomain, 0)
+    }
+
+    /// Creates a medium whose reachability is governed by `spec`
+    /// (instantiated from `seed`). A single-domain spec honors
+    /// [`LEGACY_MEDIUM_ENV`]; any other topology requires the
+    /// topology-aware engine.
+    pub fn with_topology(n: usize, phy: PhyConfig, spec: &TopologySpec, seed: u64) -> Self {
+        if spec.is_single_domain() && legacy_medium_enabled() {
+            return Medium::new_legacy(n, phy);
+        }
         Medium {
-            phy,
-            free_at: SimTime::ZERO,
-            in_flight: None,
-            queues: vec![VecDeque::new(); n],
-            backoffs: vec![None; n],
-            epoch: 0,
-            last_busy: Duration::ZERO,
+            engine: Engine::Topo(topo::TopoMedium::new(n, phy, spec.build(n, seed))),
+        }
+    }
+
+    /// Creates the legacy single-domain arbiter unconditionally (the
+    /// differential tests' oracle).
+    pub fn new_legacy(n: usize, phy: PhyConfig) -> Self {
+        Medium {
+            engine: Engine::Legacy(legacy::LegacyMedium::new(n, phy)),
         }
     }
 
     /// The PHY configuration in use.
     pub fn phy(&self) -> &PhyConfig {
-        &self.phy
+        match &self.engine {
+            Engine::Legacy(m) => m.phy(),
+            Engine::Topo(m) => m.phy(),
+        }
+    }
+
+    /// One-line description of the active topology.
+    pub fn topology_describe(&self) -> String {
+        match &self.engine {
+            Engine::Legacy(_) => "single broadcast domain".into(),
+            Engine::Topo(m) => m.topology_describe(),
+        }
+    }
+
+    /// Reachability snapshot at `now` (for stall diagnostics): per-node
+    /// direct-neighbor count and connected-component id.
+    pub fn connectivity(&mut self, now: SimTime, n: usize) -> Connectivity {
+        match &mut self.engine {
+            Engine::Legacy(_) => Connectivity {
+                reachable: vec![n.saturating_sub(1); n],
+                component: vec![0; n],
+            },
+            Engine::Topo(m) => topology::connectivity(m.topology_mut(), now, n),
+        }
     }
 
     /// Current epoch; resolution events carrying an older epoch are
     /// stale.
     pub fn epoch(&self) -> Epoch {
-        self.epoch
+        match &self.engine {
+            Engine::Legacy(m) => m.epoch(),
+            Engine::Topo(m) => m.epoch(),
+        }
     }
 
     /// `true` while a transmission is on the air.
     pub fn transmitting(&self) -> bool {
-        self.in_flight.is_some()
+        match &self.engine {
+            Engine::Legacy(m) => m.transmitting(),
+            Engine::Topo(m) => m.transmitting(),
+        }
     }
 
     /// Enqueues a frame for transmission by `frame.src`. Returns `false`
@@ -117,79 +229,43 @@ impl Medium {
     /// simulator loops those back without touching the radio) and on
     /// unknown node ids.
     pub fn enqueue(&mut self, frame: Frame, rng: &mut dyn RngCore) -> bool {
-        if let Addressing::Unicast(dst) = frame.addressing {
-            assert_ne!(dst, frame.src, "self-unicast must not reach the medium");
+        match &mut self.engine {
+            Engine::Legacy(m) => m.enqueue(frame, rng),
+            Engine::Topo(m) => m.enqueue(frame, rng),
         }
-        let node = frame.src;
-        if self.queues[node].len() >= self.phy.tx_queue_cap {
-            self.epoch += 1;
-            return false;
-        }
-        self.queues[node].push_back(PendingTx { frame, attempt: 0 });
-        if self.backoffs[node].is_none() && self.queues[node].len() == 1 {
-            self.backoffs[node] = Some(self.draw_backoff(0, rng));
-        }
-        self.epoch += 1;
-        true
     }
 
     /// When and with what epoch the next contention resolution should
-    /// fire, or `None` while transmitting or idle with no contenders.
-    pub fn next_resolution(&self, now: SimTime) -> Option<(SimTime, Epoch)> {
-        if self.in_flight.is_some() {
-            return None;
+    /// fire, or `None` when no eligible contender exists (single
+    /// domain: while transmitting or idle with no contenders).
+    ///
+    /// Takes `&mut self`: the topology engine records the query
+    /// instant (to replay the winner computation at `resolve`) and a
+    /// mobile topology may advance its state.
+    pub fn next_resolution(&mut self, now: SimTime) -> Option<(SimTime, Epoch)> {
+        match &mut self.engine {
+            Engine::Legacy(m) => m.next_resolution(now),
+            Engine::Topo(m) => m.next_resolution(now),
         }
-        let min = self.backoffs.iter().flatten().min()?;
-        let base = now.max(self.free_at);
-        let at = base + self.phy.difs + self.phy.slot * *min;
-        Some((at, self.epoch))
     }
 
     /// Fires a contention resolution scheduled with `epoch`.
     ///
-    /// Returns the end time of the transmission that starts now, or
-    /// `None` if the event was stale (epoch mismatch, or a transmission
-    /// started in the meantime).
+    /// Returns the end time of the transmission group that starts now,
+    /// or `None` if the event was stale (epoch mismatch — a mutation,
+    /// or another group starting, intervened).
     pub fn resolve(&mut self, now: SimTime, epoch: Epoch) -> Option<SimTime> {
-        if epoch != self.epoch || self.in_flight.is_some() {
-            return None;
+        match &mut self.engine {
+            Engine::Legacy(m) => m.resolve(now, epoch),
+            Engine::Topo(m) => m.resolve(now, epoch),
         }
-        let min = *self.backoffs.iter().flatten().min()?;
-        let mut txs = Vec::new();
-        for node in 0..self.backoffs.len() {
-            match self.backoffs[node] {
-                Some(b) if b == min => {
-                    let pending = self.queues[node]
-                        .pop_front()
-                        .expect("contending node has a head frame");
-                    self.backoffs[node] = None;
-                    txs.push((node, pending));
-                }
-                Some(b) => {
-                    // Freeze rule: the elapsed slots are consumed.
-                    self.backoffs[node] = Some(b - min);
-                }
-                None => {}
-            }
-        }
-        debug_assert!(!txs.is_empty());
-        let airtime = txs
-            .iter()
-            .map(|(_, p)| self.airtime_of(&p.frame))
-            .max()
-            .expect("at least one transmission");
-        let end = now + airtime;
-        self.last_busy = airtime;
-        self.in_flight = Some(InFlight { txs, end });
-        self.epoch += 1;
-        Some(end)
     }
 
-    /// Completes the in-flight transmission.
+    /// Completes the earliest-ending in-flight transmission group.
     ///
-    /// Returns the transmissions that were on the air, flagged with
-    /// whether they collided. The caller decides deliveries (fault model)
-    /// and drives retries via [`Medium::retry_unicast`].
+    /// Returns the transmissions that were on the air, each flagged
+    /// with its [`Reception`]. The caller decides deliveries (fault
+    /// model) and drives retries via [`Medium::retry_unicast`].
     ///
     /// # Panics
     ///
@@ -208,27 +284,19 @@ impl Medium {
     ///
     /// Panics if no transmission is in flight.
     pub fn finish_tx_into(&mut self, now: SimTime, done: &mut Vec<CompletedTx>) {
-        let fl = self.in_flight.take().expect("finish_tx with no tx in flight");
-        debug_assert_eq!(now, fl.end, "TxEnd event at the wrong time");
-        self.free_at = fl.end;
-        let collision = fl.txs.len() > 1;
-        done.clear();
-        done.reserve(fl.txs.len());
-        for (node, pending) in fl.txs {
-            done.push(CompletedTx {
-                node,
-                frame: pending.frame,
-                attempt: pending.attempt,
-                collision,
-            });
+        match &mut self.engine {
+            Engine::Legacy(m) => m.finish_tx_into(now, done),
+            Engine::Topo(m) => m.finish_tx_into(now, done),
         }
-        self.epoch += 1;
     }
 
     /// Time the channel was busy in the transmission reported by the last
     /// [`Medium::finish_tx`].
     pub fn last_busy(&self) -> Duration {
-        self.last_busy
+        match &self.engine {
+            Engine::Legacy(m) => m.last_busy(),
+            Engine::Topo(m) => m.last_busy(),
+        }
     }
 
     /// Re-queues a unicast frame after a failed attempt.
@@ -242,36 +310,28 @@ impl Medium {
         attempt: u32,
         rng: &mut dyn RngCore,
     ) -> bool {
-        self.epoch += 1;
-        let next_attempt = attempt + 1;
-        if next_attempt > self.phy.retry_limit {
-            self.after_head_done(node, rng);
-            return false;
+        match &mut self.engine {
+            Engine::Legacy(m) => m.retry_unicast(node, frame, attempt, rng),
+            Engine::Topo(m) => m.retry_unicast(node, frame, attempt, rng),
         }
-        self.queues[node].push_front(PendingTx {
-            frame,
-            attempt: next_attempt,
-        });
-        self.backoffs[node] = Some(self.draw_backoff(next_attempt, rng));
-        true
     }
 
     /// Restarts contention for `node` after its head frame left the
     /// queue for good (success, broadcast loss, or retry exhaustion).
     pub fn after_head_done(&mut self, node: NodeId, rng: &mut dyn RngCore) {
-        self.epoch += 1;
-        if let Some(head) = self.queues[node].front() {
-            let attempt = head.attempt;
-            self.backoffs[node] = Some(self.draw_backoff(attempt, rng));
-        } else {
-            self.backoffs[node] = None;
+        match &mut self.engine {
+            Engine::Legacy(m) => m.after_head_done(node, rng),
+            Engine::Topo(m) => m.after_head_done(node, rng),
         }
     }
 
     /// Number of frames queued at `node` (head included, in-flight
     /// excluded).
     pub fn queue_len(&self, node: NodeId) -> usize {
-        self.queues[node].len()
+        match &self.engine {
+            Engine::Legacy(m) => m.queue_len(node),
+            Engine::Topo(m) => m.queue_len(node),
+        }
     }
 
     /// Empties `node`'s transmit queue and withdraws it from contention
@@ -279,34 +339,18 @@ impl Medium {
     /// discarded. A frame already on the air is unaffected here; the
     /// simulator discards it at `TxEnd` when the source is down.
     pub fn clear_queue(&mut self, node: NodeId) -> usize {
-        self.epoch += 1;
-        self.backoffs[node] = None;
-        let dropped = self.queues[node].len();
-        self.queues[node].clear();
-        dropped
-    }
-
-    fn airtime_of(&self, frame: &Frame) -> Duration {
-        match frame.addressing {
-            Addressing::Broadcast => self.phy.broadcast_airtime(frame.mac_payload_len()),
-            Addressing::Unicast(_) => {
-                // Data + SIFS + ACK (or the equivalent ACK-timeout wait).
-                self.phy.unicast_exchange_airtime(frame.mac_payload_len())
-            }
+        match &mut self.engine {
+            Engine::Legacy(m) => m.clear_queue(node),
+            Engine::Topo(m) => m.clear_queue(node),
         }
-    }
-
-    fn draw_backoff(&self, attempt: u32, rng: &mut dyn RngCore) -> u32 {
-        let cw = self.phy.contention_window(attempt);
-        // cw + 1 is a power of two for 802.11 windows, so the modulo is
-        // exactly uniform (and trivially scriptable from tests).
-        rng.next_u32() % (cw + 1)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::Addressing;
+    use crate::topology::{Disk, PartitionSchedule};
     use bytes::Bytes;
 
     /// An RNG yielding a scripted sequence (for forcing backoff values).
@@ -359,138 +403,157 @@ mod tests {
         }
     }
 
+    /// Both single-domain engines, so every legacy behavior test runs
+    /// against the topology engine too.
+    fn engines(n: usize, phy: PhyConfig) -> [Medium; 2] {
+        [
+            Medium::new_legacy(n, phy),
+            Medium::with_topology(n, phy, &TopologySpec::SingleDomain, 0),
+        ]
+    }
+
     #[test]
     fn single_broadcast_airs_after_difs_and_backoff() {
         let phy = PhyConfig::default();
-        let mut m = Medium::new(2, phy);
-        // Scripted value 0 → backoff 0 slots.
-        let mut rng = ScriptRng::new(vec![0]);
-        m.enqueue(bc(0, 100), &mut rng);
-        let (at, epoch) = m.next_resolution(SimTime::ZERO).expect("contender present");
-        assert_eq!(at, SimTime::ZERO + phy.difs);
-        let end = m.resolve(at, epoch).expect("fresh epoch");
-        assert_eq!(end, at + phy.broadcast_airtime(100));
-        let done = m.finish_tx(end);
-        assert_eq!(done.len(), 1);
-        assert!(!done[0].collision);
-        assert_eq!(done[0].node, 0);
+        for mut m in engines(2, phy) {
+            // Scripted value 0 → backoff 0 slots.
+            let mut rng = ScriptRng::new(vec![0]);
+            m.enqueue(bc(0, 100), &mut rng);
+            let (at, epoch) = m.next_resolution(SimTime::ZERO).expect("contender present");
+            assert_eq!(at, SimTime::ZERO + phy.difs);
+            let end = m.resolve(at, epoch).expect("fresh epoch");
+            assert_eq!(end, at + phy.broadcast_airtime(100));
+            let done = m.finish_tx(end);
+            assert_eq!(done.len(), 1);
+            assert!(!done[0].collision);
+            assert_eq!(done[0].node, 0);
+            assert_eq!(done[0].reception, Reception::Everyone);
+        }
     }
 
     #[test]
     fn stale_epoch_ignored() {
-        let mut m = Medium::new(2, PhyConfig::default());
-        let mut rng = ScriptRng::new(vec![0]);
-        m.enqueue(bc(0, 10), &mut rng);
-        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
-        m.enqueue(bc(1, 10), &mut rng); // bumps epoch
-        assert_eq!(m.resolve(at, epoch), None, "stale event must be ignored");
-        let (_, fresh) = m.next_resolution(SimTime::ZERO).unwrap();
-        assert!(m.resolve(at, fresh).is_some());
+        for mut m in engines(2, PhyConfig::default()) {
+            let mut rng = ScriptRng::new(vec![0]);
+            m.enqueue(bc(0, 10), &mut rng);
+            let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+            m.enqueue(bc(1, 10), &mut rng); // bumps epoch
+            assert_eq!(m.resolve(at, epoch), None, "stale event must be ignored");
+            let (_, fresh) = m.next_resolution(SimTime::ZERO).unwrap();
+            assert!(m.resolve(at, fresh).is_some());
+        }
     }
 
     #[test]
     fn equal_backoffs_collide() {
         let phy = PhyConfig::default();
-        let mut m = Medium::new(3, phy);
-        let mut rng = ScriptRng::new(vec![5]);
-        m.enqueue(bc(0, 50), &mut rng);
-        m.enqueue(bc(1, 80), &mut rng);
-        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
-        assert_eq!(at, SimTime::ZERO + phy.difs + phy.slot * 5);
-        let end = m.resolve(at, epoch).unwrap();
-        // Busy for the longer of the two frames.
-        assert_eq!(end, at + phy.broadcast_airtime(80));
-        let done = m.finish_tx(end);
-        assert_eq!(done.len(), 2);
-        assert!(done.iter().all(|t| t.collision));
+        for mut m in engines(3, phy) {
+            let mut rng = ScriptRng::new(vec![5]);
+            m.enqueue(bc(0, 50), &mut rng);
+            m.enqueue(bc(1, 80), &mut rng);
+            let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+            assert_eq!(at, SimTime::ZERO + phy.difs + phy.slot * 5);
+            let end = m.resolve(at, epoch).unwrap();
+            // Busy for the longer of the two frames.
+            assert_eq!(end, at + phy.broadcast_airtime(80));
+            let done = m.finish_tx(end);
+            assert_eq!(done.len(), 2);
+            assert!(done.iter().all(|t| t.collision));
+            assert!(done.iter().all(|t| t.reception == Reception::Nobody));
+        }
     }
 
     #[test]
     fn lower_backoff_wins_and_loser_decrements() {
         let phy = PhyConfig::default();
-        let mut m = Medium::new(2, phy);
-        let mut rng = ScriptRng::new(vec![2, 7]);
-        m.enqueue(bc(0, 10), &mut rng); // backoff 2
-        m.enqueue(bc(1, 10), &mut rng); // backoff 7
-        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
-        let end = m.resolve(at, epoch).unwrap();
-        let done = m.finish_tx(end);
-        assert_eq!(done.len(), 1);
-        assert_eq!(done[0].node, 0);
-        // Node 1's residual backoff is 7 − 2 = 5 slots after the busy
-        // period.
-        let (at2, _) = m.next_resolution(end).unwrap();
-        assert_eq!(at2, end + phy.difs + phy.slot * 5);
+        for mut m in engines(2, phy) {
+            let mut rng = ScriptRng::new(vec![2, 7]);
+            m.enqueue(bc(0, 10), &mut rng); // backoff 2
+            m.enqueue(bc(1, 10), &mut rng); // backoff 7
+            let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+            let end = m.resolve(at, epoch).unwrap();
+            let done = m.finish_tx(end);
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].node, 0);
+            // Node 1's residual backoff is 7 − 2 = 5 slots after the busy
+            // period.
+            let (at2, _) = m.next_resolution(end).unwrap();
+            assert_eq!(at2, end + phy.difs + phy.slot * 5);
+        }
     }
 
     #[test]
     fn unicast_busy_includes_ack_exchange() {
         let phy = PhyConfig::default();
-        let mut m = Medium::new(2, phy);
-        let mut rng = ScriptRng::new(vec![0]);
-        m.enqueue(uc(0, 1, 100), &mut rng);
-        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
-        let end = m.resolve(at, epoch).unwrap();
-        assert_eq!(end, at + phy.unicast_exchange_airtime(100));
+        for mut m in engines(2, phy) {
+            let mut rng = ScriptRng::new(vec![0]);
+            m.enqueue(uc(0, 1, 100), &mut rng);
+            let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+            let end = m.resolve(at, epoch).unwrap();
+            assert_eq!(end, at + phy.unicast_exchange_airtime(100));
+        }
     }
 
     #[test]
     fn retry_respects_limit() {
         let phy = PhyConfig::default();
-        let mut m = Medium::new(2, phy);
-        let mut rng = ScriptRng::new(vec![0]);
-        let frame = uc(0, 1, 10);
-        let mut attempt = 0;
-        // retry_limit retries allowed (attempts 1..=retry_limit).
-        for _ in 0..phy.retry_limit {
-            assert!(m.retry_unicast(0, frame.clone(), attempt, &mut rng));
-            attempt += 1;
-            // Clear the queue for the next retry call.
-            let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
-            let end = m.resolve(at, epoch).unwrap();
-            let _ = m.finish_tx(end);
+        for mut m in engines(2, phy) {
+            let mut rng = ScriptRng::new(vec![0]);
+            let frame = uc(0, 1, 10);
+            let mut attempt = 0;
+            // retry_limit retries allowed (attempts 1..=retry_limit).
+            for _ in 0..phy.retry_limit {
+                assert!(m.retry_unicast(0, frame.clone(), attempt, &mut rng));
+                attempt += 1;
+                // Clear the queue for the next retry call.
+                let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+                let end = m.resolve(at, epoch).unwrap();
+                let _ = m.finish_tx(end);
+            }
+            assert!(
+                !m.retry_unicast(0, frame.clone(), attempt, &mut rng),
+                "attempt {} must exceed the limit",
+                attempt + 1
+            );
         }
-        assert!(
-            !m.retry_unicast(0, frame, attempt, &mut rng),
-            "attempt {} must exceed the limit",
-            attempt + 1
-        );
     }
 
     #[test]
     fn retry_goes_to_front_of_queue() {
-        let mut m = Medium::new(2, PhyConfig::default());
-        let mut rng = ScriptRng::new(vec![0]);
-        m.enqueue(uc(0, 1, 10), &mut rng);
-        m.enqueue(bc(0, 99), &mut rng); // queued behind
-        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
-        let end = m.resolve(at, epoch).unwrap();
-        let done = m.finish_tx(end);
-        // Failed: retry must contend before the queued broadcast.
-        assert!(m.retry_unicast(0, done[0].frame.clone(), done[0].attempt, &mut rng));
-        let (at2, epoch2) = m.next_resolution(end).unwrap();
-        let end2 = m.resolve(at2, epoch2).unwrap();
-        let done2 = m.finish_tx(end2);
-        assert_eq!(done2[0].attempt, 1);
-        assert!(!done2[0].frame.is_broadcast());
+        for mut m in engines(2, PhyConfig::default()) {
+            let mut rng = ScriptRng::new(vec![0]);
+            m.enqueue(uc(0, 1, 10), &mut rng);
+            m.enqueue(bc(0, 99), &mut rng); // queued behind
+            let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+            let end = m.resolve(at, epoch).unwrap();
+            let done = m.finish_tx(end);
+            // Failed: retry must contend before the queued broadcast.
+            assert!(m.retry_unicast(0, done[0].frame.clone(), done[0].attempt, &mut rng));
+            let (at2, epoch2) = m.next_resolution(end).unwrap();
+            let end2 = m.resolve(at2, epoch2).unwrap();
+            let done2 = m.finish_tx(end2);
+            assert_eq!(done2[0].attempt, 1);
+            assert!(!done2[0].frame.is_broadcast());
+        }
     }
 
     #[test]
     fn after_head_done_starts_next_frame() {
-        let mut m = Medium::new(2, PhyConfig::default());
-        let mut rng = ScriptRng::new(vec![0]);
-        m.enqueue(bc(0, 10), &mut rng);
-        m.enqueue(bc(0, 20), &mut rng); // same node, queued
-        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
-        let end = m.resolve(at, epoch).unwrap();
-        let _ = m.finish_tx(end);
-        assert!(
-            m.next_resolution(end).is_none(),
-            "no contender until after_head_done"
-        );
-        m.after_head_done(0, &mut rng);
-        assert!(m.next_resolution(end).is_some());
-        assert_eq!(m.queue_len(0), 1);
+        for mut m in engines(2, PhyConfig::default()) {
+            let mut rng = ScriptRng::new(vec![0]);
+            m.enqueue(bc(0, 10), &mut rng);
+            m.enqueue(bc(0, 20), &mut rng); // same node, queued
+            let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+            let end = m.resolve(at, epoch).unwrap();
+            let _ = m.finish_tx(end);
+            assert!(
+                m.next_resolution(end).is_none(),
+                "no contender until after_head_done"
+            );
+            m.after_head_done(0, &mut rng);
+            assert!(m.next_resolution(end).is_some());
+            assert_eq!(m.queue_len(0), 1);
+        }
     }
 
     #[test]
@@ -507,40 +570,209 @@ mod tests {
             tx_queue_cap: 2,
             ..PhyConfig::default()
         };
-        let mut m = Medium::new(2, phy);
-        let mut rng = ScriptRng::new(vec![0]);
-        assert!(m.enqueue(bc(0, 10), &mut rng));
-        assert!(m.enqueue(bc(0, 11), &mut rng));
-        assert!(!m.enqueue(bc(0, 12), &mut rng), "third frame tail-drops");
-        assert_eq!(m.queue_len(0), 2);
-        // Another node's queue is independent.
-        assert!(m.enqueue(bc(1, 13), &mut rng));
+        for mut m in engines(2, phy) {
+            let mut rng = ScriptRng::new(vec![0]);
+            assert!(m.enqueue(bc(0, 10), &mut rng));
+            assert!(m.enqueue(bc(0, 11), &mut rng));
+            assert!(!m.enqueue(bc(0, 12), &mut rng), "third frame tail-drops");
+            assert_eq!(m.queue_len(0), 2);
+            // Another node's queue is independent.
+            assert!(m.enqueue(bc(1, 13), &mut rng));
+        }
     }
 
     #[test]
     fn clear_queue_discards_backlog_and_contention() {
-        let mut m = Medium::new(2, PhyConfig::default());
-        let mut rng = ScriptRng::new(vec![0]);
-        m.enqueue(bc(0, 10), &mut rng);
-        m.enqueue(bc(0, 20), &mut rng);
-        assert_eq!(m.clear_queue(0), 2);
-        assert_eq!(m.queue_len(0), 0);
-        assert!(m.next_resolution(SimTime::ZERO).is_none(), "no contender left");
-        // An unaffected node keeps its queue.
-        m.enqueue(bc(1, 10), &mut rng);
-        assert_eq!(m.clear_queue(0), 0);
-        assert_eq!(m.queue_len(1), 1);
+        for mut m in engines(2, PhyConfig::default()) {
+            let mut rng = ScriptRng::new(vec![0]);
+            m.enqueue(bc(0, 10), &mut rng);
+            m.enqueue(bc(0, 20), &mut rng);
+            assert_eq!(m.clear_queue(0), 2);
+            assert_eq!(m.queue_len(0), 0);
+            assert!(m.next_resolution(SimTime::ZERO).is_none(), "no contender left");
+            // An unaffected node keeps its queue.
+            m.enqueue(bc(1, 10), &mut rng);
+            assert_eq!(m.clear_queue(0), 0);
+            assert_eq!(m.queue_len(1), 1);
+        }
     }
 
     #[test]
     fn no_resolution_while_transmitting() {
-        let mut m = Medium::new(2, PhyConfig::default());
+        for mut m in engines(2, PhyConfig::default()) {
+            let mut rng = ScriptRng::new(vec![0]);
+            m.enqueue(bc(0, 10), &mut rng);
+            let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
+            let _ = m.resolve(at, epoch).unwrap();
+            m.enqueue(bc(1, 10), &mut rng);
+            assert!(m.next_resolution(at).is_none(), "channel is busy");
+            assert!(m.transmitting());
+        }
+    }
+
+    // ---- topology-aware behavior ------------------------------------
+
+    fn spatial_line() -> Medium {
+        // A(0) --- B(1) --- C(2): A and C hear B, cannot sense each
+        // other.
+        let topo = Disk::new(vec![(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)], 120.0, 150.0);
+        Medium {
+            engine: Engine::Topo(topo::TopoMedium::new(3, PhyConfig::default(), Box::new(topo))),
+        }
+    }
+
+    #[test]
+    fn hidden_terminals_transmit_concurrently_and_garble_the_middle() {
+        let phy = PhyConfig::default();
+        let mut m = spatial_line();
         let mut rng = ScriptRng::new(vec![0]);
-        m.enqueue(bc(0, 10), &mut rng);
-        let (at, epoch) = m.next_resolution(SimTime::ZERO).unwrap();
-        let _ = m.resolve(at, epoch).unwrap();
-        m.enqueue(bc(1, 10), &mut rng);
-        assert!(m.next_resolution(at).is_none(), "channel is busy");
-        assert!(m.transmitting());
+        // A starts transmitting.
+        m.enqueue(bc(0, 100), &mut rng);
+        let (at_a, ep_a) = m.next_resolution(SimTime::ZERO).unwrap();
+        let end_a = m.resolve(at_a, ep_a).unwrap();
+        // C cannot sense A: it contends and starts while A is on air.
+        m.enqueue(bc(2, 100), &mut rng);
+        let (at_c, ep_c) = m.next_resolution(at_a).unwrap();
+        assert!(at_c < end_a, "C must not defer to a hidden transmission");
+        let end_c = m.resolve(at_c, ep_c).unwrap();
+        assert!(end_c > end_a);
+        // A's frame ends first: garbled at B by C's overlapping
+        // transmission, and C is out of A's range anyway.
+        let done_a = m.finish_tx(end_a);
+        assert_eq!(done_a[0].node, 0);
+        assert!(done_a[0].collision, "hidden-terminal garbling at B");
+        assert_eq!(done_a[0].reception, Reception::Nobody);
+        // C's frame was equally garbled at B.
+        let done_c = m.finish_tx(end_c);
+        assert_eq!(done_c[0].node, 2);
+        assert!(done_c[0].collision);
+        assert_eq!(done_c[0].reception, Reception::Nobody);
+        let _ = phy;
+    }
+
+    #[test]
+    fn out_of_range_receivers_are_excluded_not_collided() {
+        let mut m = spatial_line();
+        let mut rng = ScriptRng::new(vec![0]);
+        // Only A transmits: B hears it, C is out of range. No garbling
+        // anywhere, so this is not a collision.
+        m.enqueue(bc(0, 50), &mut rng);
+        let (at, ep) = m.next_resolution(SimTime::ZERO).unwrap();
+        let end = m.resolve(at, ep).unwrap();
+        let done = m.finish_tx(end);
+        assert!(!done[0].collision);
+        assert_eq!(done[0].reception, Reception::Subset(vec![1]));
+    }
+
+    #[test]
+    fn partitioned_islands_transmit_concurrently_without_garbling() {
+        let spec = TopologySpec::Partition(
+            PartitionSchedule::new().split_at(SimTime::ZERO, vec![vec![0, 1], vec![2, 3]]),
+        );
+        let mut m = Medium::with_topology(4, PhyConfig::default(), &spec, 0);
+        let mut rng = ScriptRng::new(vec![0]);
+        m.enqueue(bc(0, 100), &mut rng);
+        let (at0, ep0) = m.next_resolution(SimTime::ZERO).unwrap();
+        let end0 = m.resolve(at0, ep0).unwrap();
+        // Node 2 lives in the other island: same instant, no deferral.
+        m.enqueue(bc(2, 100), &mut rng);
+        let (at2, ep2) = m.next_resolution(at0).unwrap();
+        assert!(at2 < end0);
+        let end2 = m.resolve(at2, ep2).unwrap();
+        let done0 = m.finish_tx(end0);
+        assert!(!done0[0].collision, "islands do not interfere");
+        assert_eq!(done0[0].reception, Reception::Subset(vec![1]));
+        let done2 = m.finish_tx(end2);
+        assert!(!done2[0].collision);
+        assert_eq!(done2[0].reception, Reception::Subset(vec![3]));
+    }
+
+    #[test]
+    fn connectivity_snapshot_matches_partition() {
+        let spec = TopologySpec::Partition(
+            PartitionSchedule::new()
+                .split_at(SimTime::from_millis(1), vec![vec![0, 1, 2], vec![3]])
+                .heal_at(SimTime::from_millis(9)),
+        );
+        let mut m = Medium::with_topology(4, PhyConfig::default(), &spec, 0);
+        let mid = m.connectivity(SimTime::from_millis(5), 4);
+        assert_eq!(mid.reachable, vec![2, 2, 2, 0]);
+        assert_eq!(mid.component, vec![0, 0, 0, 3]);
+        let healed = m.connectivity(SimTime::from_millis(9), 4);
+        assert_eq!(healed.reachable, vec![3; 4]);
+        assert_eq!(healed.component, vec![0; 4]);
+        // The legacy engine reports full connectivity.
+        let mut l = Medium::new_legacy(4, PhyConfig::default());
+        assert_eq!(l.connectivity(SimTime::ZERO, 4), healed);
+    }
+
+    /// Randomized lockstep differential: both single-domain engines,
+    /// driven by an identical operation script, must agree on every
+    /// observable (resolution instants, epochs, receptions, RNG
+    /// consumption) at every step.
+    #[test]
+    fn single_domain_engines_agree_on_random_scripts() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..20u64 {
+            let mut script = StdRng::seed_from_u64(seed);
+            let n = 2 + (seed as usize % 4);
+            let phy = PhyConfig::default();
+            let mut a = Medium::new_legacy(n, phy);
+            let mut b = Medium::with_topology(n, phy, &TopologySpec::SingleDomain, seed);
+            let mut rng_a = StdRng::seed_from_u64(seed ^ 0xdead);
+            let mut rng_b = StdRng::seed_from_u64(seed ^ 0xdead);
+            let mut now = SimTime::ZERO;
+            for _ in 0..200 {
+                match script.gen_range(0..5u8) {
+                    0 | 1 => {
+                        let src = script.gen_range(0..n);
+                        let frame = if script.gen_bool(0.7) {
+                            bc(src, script.gen_range(10..200))
+                        } else {
+                            let dst = (src + script.gen_range(1..n)) % n;
+                            uc(src, dst, script.gen_range(10..200))
+                        };
+                        assert_eq!(
+                            a.enqueue(frame.clone(), &mut rng_a),
+                            b.enqueue(frame, &mut rng_b)
+                        );
+                    }
+                    2 | 3 => {
+                        let ra = a.next_resolution(now);
+                        let rb = b.next_resolution(now);
+                        assert_eq!(ra, rb, "seed {seed} diverged at {now}");
+                        if let Some((at, epoch)) = ra {
+                            let ea = a.resolve(at, epoch);
+                            let eb = b.resolve(at, epoch);
+                            assert_eq!(ea, eb);
+                            if let Some(end) = ea {
+                                now = end;
+                                let da = a.finish_tx(end);
+                                let db = b.finish_tx(end);
+                                assert_eq!(da.len(), db.len());
+                                for (ta, tb) in da.iter().zip(&db) {
+                                    assert_eq!(ta.node, tb.node);
+                                    assert_eq!(ta.collision, tb.collision);
+                                    assert_eq!(ta.reception, tb.reception);
+                                    assert_eq!(ta.attempt, tb.attempt);
+                                }
+                                for t in da {
+                                    a.after_head_done(t.node, &mut rng_a);
+                                    b.after_head_done(t.node, &mut rng_b);
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        let node = script.gen_range(0..n);
+                        assert_eq!(a.clear_queue(node), b.clear_queue(node));
+                    }
+                }
+                assert_eq!(a.epoch(), b.epoch(), "epoch streams diverged");
+            }
+            // The backing RNGs must have been consumed identically.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        }
     }
 }

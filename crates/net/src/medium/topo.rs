@@ -1,0 +1,399 @@
+//! The topology-aware medium: per-node carrier sense, concurrent
+//! transmission groups (spatial reuse), partial receptions, and
+//! hidden-terminal garbling.
+//!
+//! Generalizes the legacy single-domain arbiter along three axes,
+//! reducing to it **exactly** — same RNG draws, same event times, same
+//! epochs — when the topology is [`crate::topology::SingleDomain`]
+//! (`crates/harness/tests/topology_differential.rs` and the
+//! differential unit tests in [`crate::medium`] hold it to bytes):
+//!
+//! * `free_at` is per node: a node's NAV/EIFS hold-off tracks only
+//!   transmissions it could actually sense.
+//! * More than one transmission group may be in flight at once, as
+//!   long as their contenders could not sense each other when they
+//!   started (hidden terminals, healed-partition islands).
+//! * Reception is per receiver: a frame is decodable at `dst` when the
+//!   topology says `hears(src, dst)`, no co-group transmitter and no
+//!   overlapping foreign transmitter interferes at `dst`, and `dst` is
+//!   not itself transmitting.
+//!
+//! Interference marks are computed when a group *starts* (against
+//! every group then in flight, both directions); any two overlapping
+//! groups meet this way because one of them starts while the other is
+//! on the air. Decodability is evaluated when the group *ends*. Both
+//! instants are deterministic, so mobility keeps runs reproducible.
+
+use super::{CompletedTx, Epoch, PendingTx, Reception};
+use crate::config::PhyConfig;
+use crate::frame::{Addressing, Frame, NodeId};
+use crate::time::SimTime;
+use crate::topology::Topology;
+use rand::RngCore;
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Duration;
+
+/// One in-flight transmission group: the contenders that resolved
+/// together at one instant within one carrier-sense neighborhood.
+struct Group {
+    txs: Vec<(NodeId, PendingTx)>,
+    end: SimTime,
+    /// Airtime of this group (for the channel-busy stat).
+    busy: Duration,
+    /// Receivers garbled by an overlapping foreign group (marked when
+    /// either group starts).
+    garbled: Vec<bool>,
+}
+
+/// The topology-aware shared-medium arbiter.
+pub(super) struct TopoMedium {
+    phy: PhyConfig,
+    topology: Box<dyn Topology>,
+    /// Per-node channel-free time: when the last transmission this
+    /// node could sense ends.
+    free_at: Vec<SimTime>,
+    groups: Vec<Group>,
+    queues: Vec<VecDeque<PendingTx>>,
+    backoffs: Vec<Option<u32>>,
+    epoch: Epoch,
+    last_busy: Duration,
+    /// `now` of the last [`TopoMedium::next_resolution`] call; `resolve`
+    /// re-derives the same winner set from it. Valid because every
+    /// mutation bumps the epoch, which stales the scheduled event.
+    sched_base: SimTime,
+}
+
+impl fmt::Debug for TopoMedium {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TopoMedium")
+            .field("topology", &self.topology.describe())
+            .field("groups", &self.groups.len())
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TopoMedium {
+    pub(super) fn new(n: usize, phy: PhyConfig, topology: Box<dyn Topology>) -> Self {
+        TopoMedium {
+            phy,
+            topology,
+            free_at: vec![SimTime::ZERO; n],
+            groups: Vec::new(),
+            queues: vec![VecDeque::new(); n],
+            backoffs: vec![None; n],
+            epoch: 0,
+            last_busy: Duration::ZERO,
+            sched_base: SimTime::ZERO,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.queues.len()
+    }
+
+    pub(super) fn phy(&self) -> &PhyConfig {
+        &self.phy
+    }
+
+    pub(super) fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    pub(super) fn transmitting(&self) -> bool {
+        !self.groups.is_empty()
+    }
+
+    pub(super) fn topology_mut(&mut self) -> &mut dyn Topology {
+        self.topology.as_mut()
+    }
+
+    pub(super) fn topology_describe(&self) -> String {
+        self.topology.describe()
+    }
+
+    /// Identical to the legacy `enqueue` (same RNG draw pattern).
+    pub(super) fn enqueue(&mut self, frame: Frame, rng: &mut dyn RngCore) -> bool {
+        if let Addressing::Unicast(dst) = frame.addressing {
+            assert_ne!(dst, frame.src, "self-unicast must not reach the medium");
+        }
+        let node = frame.src;
+        if self.queues[node].len() >= self.phy.tx_queue_cap {
+            self.epoch += 1;
+            return false;
+        }
+        self.queues[node].push_back(PendingTx { frame, attempt: 0 });
+        if self.backoffs[node].is_none() && self.queues[node].len() == 1 {
+            self.backoffs[node] = Some(self.draw_backoff(0, rng));
+        }
+        self.epoch += 1;
+        true
+    }
+
+    /// Carrier sense: `node` defers while any in-flight transmitter is
+    /// within its interference range at `at`.
+    fn blocked(&mut self, at: SimTime, node: NodeId) -> bool {
+        for g in 0..self.groups.len() {
+            for t in 0..self.groups[g].txs.len() {
+                let src = self.groups[g].txs[t].0;
+                if self.topology.interferes(at, src, node) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Fire instant of contender `node` holding backoff `b`, counting
+    /// from schedule instant `base`.
+    fn fire_at(&self, base: SimTime, node: NodeId, b: u32) -> SimTime {
+        base.max(self.free_at[node]) + self.phy.difs + self.phy.slot * b
+    }
+
+    pub(super) fn next_resolution(&mut self, now: SimTime) -> Option<(SimTime, Epoch)> {
+        self.sched_base = now;
+        let mut best: Option<SimTime> = None;
+        for node in 0..self.n() {
+            let Some(b) = self.backoffs[node] else {
+                continue;
+            };
+            if self.blocked(now, node) {
+                continue;
+            }
+            let at = self.fire_at(now, node, b);
+            best = Some(best.map_or(at, |cur: SimTime| cur.min(at)));
+        }
+        best.map(|at| (at, self.epoch))
+    }
+
+    pub(super) fn resolve(&mut self, now: SimTime, epoch: Epoch) -> Option<SimTime> {
+        if epoch != self.epoch {
+            return None;
+        }
+        // Re-derive the winner set from the schedule instant. The
+        // epoch match guarantees no medium mutation intervened, and
+        // topology queries are pure functions of the query time, so
+        // this reproduces the `next_resolution` computation exactly.
+        let base = self.sched_base;
+        let mut eligible: Vec<(NodeId, u32, SimTime)> = Vec::new();
+        for node in 0..self.n() {
+            let Some(b) = self.backoffs[node] else {
+                continue;
+            };
+            if self.blocked(base, node) {
+                continue; // frozen: still senses a foreign transmission
+            }
+            eligible.push((node, b, self.fire_at(base, node, b)));
+        }
+        if !eligible.iter().any(|&(_, _, fire)| fire == now) {
+            return None; // defensive: no contender fires at this instant
+        }
+        let mut txs = Vec::new();
+        for (node, b, fire) in eligible {
+            if fire == now {
+                let pending = self.queues[node]
+                    .pop_front()
+                    .expect("contending node has a head frame");
+                self.backoffs[node] = None;
+                txs.push((node, pending));
+            } else {
+                debug_assert!(fire > now, "missed a resolution instant");
+                // Freeze rule: slots elapsed since this node's own
+                // DIFS expiry are consumed.
+                let difs_end = base.max(self.free_at[node]) + self.phy.difs;
+                let consumed = if now > difs_end {
+                    (now.as_nanos() - difs_end.as_nanos()) / self.phy.slot.as_nanos() as u64
+                } else {
+                    0
+                };
+                self.backoffs[node] = Some(b - (consumed as u32).min(b));
+            }
+        }
+        let airtime = txs
+            .iter()
+            .map(|(_, p)| self.airtime_of(&p.frame))
+            .max()
+            .expect("at least one transmission");
+        let end = now + airtime;
+
+        // Mark mutual garbling against every group already in flight,
+        // and hold off everyone who can sense a new transmitter.
+        let n = self.n();
+        let mut garbled = vec![false; n];
+        for &(src, _) in &txs {
+            for g in 0..self.groups.len() {
+                for j in 0..n {
+                    if self.topology.interferes(now, src, j) {
+                        self.groups[g].garbled[j] = true;
+                    }
+                }
+            }
+            for j in 0..n {
+                if self.topology.interferes(now, src, j) {
+                    self.free_at[j] = self.free_at[j].max(end);
+                }
+            }
+        }
+        for g in 0..self.groups.len() {
+            for t in 0..self.groups[g].txs.len() {
+                let src = self.groups[g].txs[t].0;
+                for (j, flag) in garbled.iter_mut().enumerate() {
+                    if self.topology.interferes(now, src, j) {
+                        *flag = true;
+                    }
+                }
+            }
+        }
+
+        self.groups.push(Group {
+            txs,
+            end,
+            busy: airtime,
+            garbled,
+        });
+        self.epoch += 1;
+        Some(end)
+    }
+
+    pub(super) fn finish_tx_into(&mut self, now: SimTime, done: &mut Vec<CompletedTx>) {
+        // One TxEnd event exists per group; pop the earliest-ending one
+        // (FIFO among equals, matching event-queue push order).
+        let idx = self
+            .groups
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, g)| (g.end, *i))
+            .map(|(i, _)| i)
+            .expect("finish_tx with no tx in flight");
+        let group = self.groups.remove(idx);
+        debug_assert_eq!(now, group.end, "TxEnd event at the wrong time");
+        self.last_busy = group.busy;
+        let n = self.n();
+        let sources: Vec<NodeId> = group.txs.iter().map(|(s, _)| *s).collect();
+        done.clear();
+        done.reserve(group.txs.len());
+        for (node, pending) in group.txs {
+            let mut heard: Vec<NodeId> = Vec::new();
+            let mut all = true;
+            let mut garbled_any = false;
+            for rx in 0..n {
+                if rx == node {
+                    continue;
+                }
+                if sources.contains(&rx) {
+                    all = false; // half-duplex: a co-group transmitter hears nothing
+                    continue;
+                }
+                if !self.topology.hears(now, node, rx) {
+                    // Out of decode range: the frame simply never
+                    // reaches `rx` — interference there is irrelevant.
+                    all = false;
+                    continue;
+                }
+                let mut garbled = group.garbled[rx];
+                if !garbled {
+                    // A co-group transmitter in range garbles this
+                    // frame at `rx` (the legacy collision, localized).
+                    for &other in &sources {
+                        if other != node && self.topology.interferes(now, other, rx) {
+                            garbled = true;
+                            break;
+                        }
+                    }
+                }
+                if garbled {
+                    garbled_any = true;
+                    all = false;
+                    continue;
+                }
+                heard.push(rx);
+            }
+            // A simultaneous co-group transmitter within carrier-sense
+            // range is a collision even when no third station observed
+            // it (n = 2): the channel event happened, which keeps the
+            // collision count identical to the legacy arbiter's.
+            let collision = garbled_any
+                || sources
+                    .iter()
+                    .any(|&other| other != node && self.topology.interferes(now, other, node));
+            let reception = if all {
+                Reception::Everyone
+            } else if heard.is_empty() {
+                Reception::Nobody
+            } else {
+                Reception::Subset(heard)
+            };
+            done.push(CompletedTx {
+                node,
+                frame: pending.frame,
+                attempt: pending.attempt,
+                collision,
+                reception,
+            });
+        }
+        self.epoch += 1;
+    }
+
+    pub(super) fn last_busy(&self) -> Duration {
+        self.last_busy
+    }
+
+    /// Identical to the legacy `retry_unicast` (same RNG draw pattern).
+    pub(super) fn retry_unicast(
+        &mut self,
+        node: NodeId,
+        frame: Frame,
+        attempt: u32,
+        rng: &mut dyn RngCore,
+    ) -> bool {
+        self.epoch += 1;
+        let next_attempt = attempt + 1;
+        if next_attempt > self.phy.retry_limit {
+            self.after_head_done(node, rng);
+            return false;
+        }
+        self.queues[node].push_front(PendingTx {
+            frame,
+            attempt: next_attempt,
+        });
+        self.backoffs[node] = Some(self.draw_backoff(next_attempt, rng));
+        true
+    }
+
+    /// Identical to the legacy `after_head_done` (same RNG draw
+    /// pattern).
+    pub(super) fn after_head_done(&mut self, node: NodeId, rng: &mut dyn RngCore) {
+        self.epoch += 1;
+        if let Some(head) = self.queues[node].front() {
+            let attempt = head.attempt;
+            self.backoffs[node] = Some(self.draw_backoff(attempt, rng));
+        } else {
+            self.backoffs[node] = None;
+        }
+    }
+
+    pub(super) fn queue_len(&self, node: NodeId) -> usize {
+        self.queues[node].len()
+    }
+
+    pub(super) fn clear_queue(&mut self, node: NodeId) -> usize {
+        self.epoch += 1;
+        self.backoffs[node] = None;
+        let dropped = self.queues[node].len();
+        self.queues[node].clear();
+        dropped
+    }
+
+    fn airtime_of(&self, frame: &Frame) -> Duration {
+        match frame.addressing {
+            Addressing::Broadcast => self.phy.broadcast_airtime(frame.mac_payload_len()),
+            Addressing::Unicast(_) => self.phy.unicast_exchange_airtime(frame.mac_payload_len()),
+        }
+    }
+
+    fn draw_backoff(&self, attempt: u32, rng: &mut dyn RngCore) -> u32 {
+        let cw = self.phy.contention_window(attempt);
+        rng.next_u32() % (cw + 1)
+    }
+}

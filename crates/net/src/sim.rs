@@ -18,6 +18,7 @@ use crate::queue::EventQueue;
 use crate::stats::NetStats;
 use crate::supervise::{AppProgress, NodeProgress, StallReport};
 use crate::time::SimTime;
+use crate::topology::TopologySpec;
 use crate::trace::{Trace, TraceEvent};
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -196,6 +197,10 @@ pub struct SimConfig {
     /// Number of events retained by the network trace (0 = tracing off,
     /// the default; see [`crate::trace`]).
     pub trace_capacity: usize,
+    /// Radio topology (who hears/senses whom); the default is the
+    /// paper's single one-hop broadcast domain. Instantiated from
+    /// `seed` by [`crate::topology::TopologySpec::build`].
+    pub topology: TopologySpec,
 }
 
 impl Default for SimConfig {
@@ -205,6 +210,7 @@ impl Default for SimConfig {
             seed: 0,
             start_jitter: Duration::from_micros(500),
             trace_capacity: 0,
+            topology: TopologySpec::SingleDomain,
         }
     }
 }
@@ -286,7 +292,7 @@ impl Simulator {
             started: vec![false; n],
             start_times: vec![SimTime::ZERO; n],
             decisions: vec![None; n],
-            medium: Medium::new(n, cfg.phy),
+            medium: Medium::with_topology(n, cfg.phy, &cfg.topology, cfg.seed),
             mac_rng,
             fault,
             stats: NetStats::new(n),
@@ -441,6 +447,12 @@ impl Simulator {
             EventKind::ContentionResolve { epoch } => {
                 if let Some(end) = self.medium.resolve(at, epoch) {
                     self.push(end, EventKind::TxEnd);
+                    // Under a partial topology, contenders out of the
+                    // winners' sensing range keep contending while the
+                    // new group is on the air (spatial reuse). In a
+                    // single domain everyone is blocked and this is a
+                    // no-op.
+                    self.reschedule_contention();
                 }
                 // Stale events need no rescheduling: whatever bumped the
                 // epoch also rescheduled.
@@ -519,13 +531,15 @@ impl Simulator {
     }
 
     /// Snapshots the diagnostic state of the run — what a supervised
-    /// run attaches to a stall. Callable at any time.
+    /// run attaches to a stall. Callable at any time (takes `&mut self`
+    /// only to query the topology's reachability snapshot).
     pub fn stall_report(
-        &self,
+        &mut self,
         limit: SimTime,
         status: RunStatus,
         target: Option<usize>,
     ) -> StallReport {
+        let connectivity = self.medium.connectivity(self.time, self.n());
         let nodes = (0..self.n())
             .map(|node| NodeProgress {
                 node,
@@ -536,6 +550,8 @@ impl Simulator {
                 queue_drops: self.stats.per_node_queue_drops[node],
                 deliveries: self.stats.per_node_rx[node],
                 peak_store_bytes: self.peak_store[node],
+                reachable_peers: connectivity.reachable[node],
+                component: connectivity.component[node],
             })
             .collect();
         StallReport {
@@ -547,6 +563,7 @@ impl Simulator {
             last_progress: self.last_progress,
             fault: self.fault.describe(),
             crashes: self.crash_describe.clone(),
+            topology: self.medium.topology_describe(),
             queue_drops: self.stats.queue_drops,
             nodes,
         }
@@ -820,13 +837,17 @@ impl Simulator {
                     self.stats.broadcast_frames_sent += 1;
                     if tx.collision {
                         self.stats.collisions += 1;
-                        // Group-addressed frames are never retried.
-                        self.medium.after_head_done(tx.node, &mut self.mac_rng);
-                        continue;
                     }
+                    // Group-addressed frames are never retried; whoever
+                    // the reception excludes (collision victims,
+                    // out-of-range or partitioned receivers) simply
+                    // misses the frame.
                     for rx in 0..self.n() {
                         if rx == tx.node {
                             continue; // radio does not hear itself; loopback handled at send
+                        }
+                        if !tx.reception.hears(rx) {
+                            continue;
                         }
                         let dctx = DeliveryCtx {
                             now,
@@ -859,10 +880,10 @@ impl Simulator {
                 }
                 Addressing::Unicast(dst) => {
                     self.stats.unicast_frames_sent += 1;
-                    let delivered = if tx.collision {
+                    if tx.collision {
                         self.stats.collisions += 1;
-                        false
-                    } else {
+                    }
+                    let delivered = tx.reception.hears(dst) && {
                         let dctx = DeliveryCtx {
                             now,
                             src: tx.node,

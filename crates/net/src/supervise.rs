@@ -57,6 +57,13 @@ pub struct NodeProgress {
     /// High-water mark of [`AppProgress::store_bytes`] over the run
     /// (0 for applications without a probe).
     pub peak_store_bytes: usize,
+    /// Direct neighbors this node hears at the snapshot instant
+    /// (`n − 1` in a single broadcast domain).
+    pub reachable_peers: usize,
+    /// Connected-component id of this node in the reachability graph
+    /// (the smallest node index in the component; everyone is 0 when
+    /// the network is whole).
+    pub component: usize,
 }
 
 /// A structured diagnosis of a run that stopped without satisfying its
@@ -84,6 +91,9 @@ pub struct StallReport {
     /// The installed crash schedule, per
     /// [`crate::fault::CrashSchedule::describe`].
     pub crashes: String,
+    /// The active radio topology, per
+    /// [`crate::topology::Topology::describe`].
+    pub topology: String,
     /// Total transmit-queue tail drops across the group.
     pub queue_drops: u64,
     /// Per-node diagnostics.
@@ -116,6 +126,7 @@ impl fmt::Display for StallReport {
             self.now, self.limit, self.last_progress, self.queue_drops
         )?;
         writeln!(f, "  faults: {}; crashes: {}", self.fault, self.crashes)?;
+        writeln!(f, "  topology: {}", self.topology)?;
         for np in &self.nodes {
             let phase = match np.progress {
                 Some(p) => format!("phase {:>4}", p.phase),
@@ -123,7 +134,8 @@ impl fmt::Display for StallReport {
             };
             writeln!(
                 f,
-                "  n{:<3} {phase}  {}  {}  txq {:>2}  qdrops {:>4}  rx {:>6}  peak-store {:>8}B",
+                "  n{:<3} {phase}  {}  {}  txq {:>2}  qdrops {:>4}  rx {:>6}  \
+                 peak-store {:>8}B  reach {:>3}  comp {:>3}",
                 np.node,
                 if np.decided { "decided " } else { "undecided" },
                 if np.crashed { "CRASHED" } else { "up     " },
@@ -131,6 +143,8 @@ impl fmt::Display for StallReport {
                 np.queue_drops,
                 np.deliveries,
                 np.peak_store_bytes,
+                np.reachable_peers,
+                np.component,
             )?;
         }
         Ok(())
@@ -151,6 +165,7 @@ mod tests {
             last_progress: SimTime::from_millis(1_204),
             fault: "budgeted omission 160 per 10ms".into(),
             crashes: "no crashes".into(),
+            topology: "split@5ms 4|3, heal@1s".into(),
             queue_drops: 12,
             nodes: vec![
                 NodeProgress {
@@ -166,6 +181,8 @@ mod tests {
                     queue_drops: 0,
                     deliveries: 1293,
                     peak_store_bytes: 2_208,
+                    reachable_peers: 3,
+                    component: 0,
                 },
                 NodeProgress {
                     node: 1,
@@ -176,6 +193,8 @@ mod tests {
                     queue_drops: 12,
                     deliveries: 1101,
                     peak_store_bytes: 0,
+                    reachable_peers: 2,
+                    component: 4,
                 },
             ],
         }
@@ -191,6 +210,9 @@ mod tests {
         assert!(text.contains("12 queue drops"), "{text}");
         assert!(text.contains("budgeted omission"), "{text}");
         assert!(text.contains("peak-store     2208B"), "{text}");
+        assert!(text.contains("topology: split@5ms 4|3, heal@1s"), "{text}");
+        assert!(text.contains("reach   3  comp   0"), "{text}");
+        assert!(text.contains("reach   2  comp   4"), "{text}");
     }
 
     #[test]

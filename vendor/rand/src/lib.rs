@@ -129,6 +129,16 @@ macro_rules! impl_sample_range_uint {
 
 impl_sample_range_uint!(u8, u16, u32, u64, usize);
 
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        // Uniform in [start, end): scale a 53-bit mantissa draw. The
+        // result is a pure function of the RNG stream — no platform
+        // floating-point variance (IEEE 754 ops are exact per input).
+        self.start + (self.end - self.start) * <f64 as Standard>::sample(rng)
+    }
+}
+
 /// Unbiased uniform draw in `[0, span)` by rejection sampling.
 fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
     debug_assert!(span > 0);
