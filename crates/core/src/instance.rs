@@ -43,6 +43,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use turquois_crypto::memo::MemoCache;
 use turquois_crypto::otss::{OneTimeSignature, SignError, Value};
+use turquois_crypto::sha256::multilane::sha256_many;
+use turquois_crypto::sha256::Digest;
 
 /// How many phases of evidence to retain behind the current phase.
 const GC_WINDOW: u32 = 8;
@@ -213,20 +215,77 @@ impl Turquois {
         }
     }
 
-    /// [`KeyRing::verify`] through the memo cache. Sound because the
-    /// key captures the verification's entire input and the cache is
-    /// cleared whenever the key material changes (see
-    /// [`KeyRing::epoch_stamp`]).
-    fn verify_cached(&mut self, env: &Envelope, sig: &OneTimeSignature) -> bool {
+    /// Clears the memo cache when the key material changed since its
+    /// last use (see [`KeyRing::epoch_stamp`]).
+    fn refresh_verify_cache(&mut self) {
         let stamp = self.keyring.epoch_stamp();
         if stamp != self.cache_stamp {
             self.verify_cache.clear();
             self.cache_stamp = stamp;
         }
+    }
+
+    /// [`KeyRing::verify`] through the memo cache. Sound because the
+    /// key captures the verification's entire input and the cache is
+    /// cleared whenever the key material changes (see
+    /// [`KeyRing::epoch_stamp`]).
+    fn verify_cached(&mut self, env: &Envelope, sig: &OneTimeSignature) -> bool {
+        self.verify_cached_with(env, sig, None)
+    }
+
+    /// [`Turquois::verify_cached`] with `H(sig)` optionally precomputed
+    /// by a lane batch ([`Turquois::prehash_justification`]). The memo
+    /// lookup — hit/miss counters, insertion, eviction — is identical
+    /// either way; only where the hash work ran differs, so cache
+    /// evolution cannot depend on batching.
+    fn verify_cached_with(
+        &mut self,
+        env: &Envelope,
+        sig: &OneTimeSignature,
+        pre: Option<&Digest>,
+    ) -> bool {
+        self.refresh_verify_cache();
         let key = (env.phase, env.sender, env.value.index() as u8, sig.0);
         let keyring = &self.keyring;
-        self.verify_cache
-            .lookup(key, || keyring.verify(env, sig))
+        self.verify_cache.lookup(key, || match pre {
+            Some(sig_hash) => keyring.verify_hashed(env, sig_hash),
+            None => keyring.verify(env, sig),
+        })
+    }
+
+    /// The per-message batched verify queue (DESIGN.md §12): collects
+    /// the justification entries whose memo keys will miss, hashes
+    /// their signatures through the multi-lane kernel in one batch, and
+    /// returns the per-entry precomputed hashes for
+    /// [`Turquois::verify_cached_with`]. Entries already cached (or
+    /// duplicated within the bundle — the first lookup will insert
+    /// them) get `None` and take the ordinary path. With memoization
+    /// disabled everything gets `None`, so the `TURQUOIS_NO_MEMO`
+    /// baseline re-executes exactly the work it always did.
+    fn prehash_justification(
+        &mut self,
+        justification: &[(Envelope, OneTimeSignature)],
+    ) -> Vec<Option<Digest>> {
+        let mut pre = vec![None; justification.len()];
+        if justification.len() < 2 || !turquois_crypto::telemetry::memo_enabled() {
+            return pre;
+        }
+        self.refresh_verify_cache();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut lanes: Vec<usize> = Vec::new();
+        for (i, (env, sig)) in justification.iter().enumerate() {
+            let key = (env.phase, env.sender, env.value.index() as u8, sig.0);
+            if self.verify_cache.contains(&key) || !seen.insert(key) {
+                continue;
+            }
+            lanes.push(i);
+        }
+        let inputs: Vec<&[u8]> = lanes.iter().map(|&i| &justification[i].1 .0[..]).collect();
+        let hashes = sha256_many(&inputs);
+        for (&i, hash) in lanes.iter().zip(hashes) {
+            pre[i] = Some(hash);
+        }
+        pre
     }
 
     /// The configuration in force.
@@ -369,11 +428,14 @@ impl Turquois {
         }
 
         // Authenticity of each attachment; inauthentic ones are dropped,
-        // authentic ones become evidence.
+        // authentic ones become evidence. The memo-missing entries are
+        // hashed through the multi-lane kernel in one batch first;
+        // every entry still costs one logical verification.
+        let pre = self.prehash_justification(&message.justification);
         let mut extras: Vec<(Envelope, OneTimeSignature)> = Vec::new();
-        for (env, sig) in &message.justification {
+        for ((env, sig), sig_hash) in message.justification.iter().zip(&pre) {
             receipt.sig_verifications += 1;
-            if self.verify_cached(env, sig) {
+            if self.verify_cached_with(env, sig, sig_hash.as_ref()) {
                 extras.push((*env, *sig));
             }
         }

@@ -222,18 +222,27 @@ impl KeyRing {
     /// Verifies that `signature` authenticates `envelope`'s
     /// `(phase, value)` as originating from `envelope.sender`.
     ///
-    /// Epochs are scanned newest-first: live traffic is almost always
-    /// signed under the sender's current (latest) epoch, so the common
-    /// case short-circuits on the first probe. Each epoch covers a
-    /// disjoint phase range, so scan order cannot change the outcome.
+    /// Hashes the signature exactly once, then scans the sender's
+    /// epochs newest-first against the precomputed hash: live traffic
+    /// is almost always signed under the sender's current (latest)
+    /// epoch, so the common case short-circuits on the first probe.
+    /// Each epoch covers a disjoint phase range, so scan order cannot
+    /// change the outcome.
     pub fn verify(&self, envelope: &Envelope, signature: &OneTimeSignature) -> bool {
+        self.verify_hashed(envelope, &turquois_crypto::sha256::sha256(&signature.0))
+    }
+
+    /// [`KeyRing::verify`] with `H(signature)` already computed — the
+    /// entry point for lane-batched callers that hash a whole
+    /// justification bundle through the multi-lane kernel first.
+    pub fn verify_hashed(&self, envelope: &Envelope, sig_hash: &turquois_crypto::sha256::Digest) -> bool {
         let Some(epochs) = self.vks.get(envelope.sender) else {
             return false;
         };
         epochs
             .iter()
             .rev()
-            .any(|vk| vk.verify(envelope.phase, envelope.value, signature))
+            .any(|vk| vk.verify_hashed(envelope.phase, envelope.value, sig_hash))
     }
 
     /// A monotone fingerprint of the installed verification-key

@@ -17,11 +17,25 @@
 //! turns that into a few-time scheme with a single 32-byte public key (the
 //! root).
 
-use crate::sha256::{sha256, sha256_concat, Digest, DIGEST_LEN};
+use crate::sha256::multilane::sha256_many;
+use crate::sha256::{sha256, sha256_domain, Digest, DIGEST_LEN};
 use std::fmt;
 
 /// Number of message bits a Lamport leaf signs (SHA-256 output).
 const MSG_BITS: usize = 256;
+
+/// Domain tag of a Lamport secret derivation.
+const SECRET_TAG: &[u8] = b"turquois-hashsig-secret";
+/// Domain tag of a leaf commitment.
+const LEAF_TAG: &[u8] = b"turquois-hashsig-leaf";
+/// Domain tag of an interior Merkle node.
+const NODE_TAG: &[u8] = b"turquois-hashsig-node";
+
+/// Byte length of a secret-derivation preimage:
+/// `tag ‖ seed ‖ leaf ‖ bit_idx ‖ bit`.
+const SECRET_PREIMAGE_LEN: usize = SECRET_TAG.len() + 8 + 8 + 4 + 1;
+/// Byte length of a node preimage: `tag ‖ left ‖ right`.
+const NODE_PREIMAGE_LEN: usize = NODE_TAG.len() + 2 * DIGEST_LEN;
 
 /// A long-term hash-based public key: the Merkle root over the one-time
 /// leaf keys.
@@ -133,10 +147,13 @@ impl Keypair {
         let mut level: Vec<Digest> = (0..leaves).map(|i| leaf_hash(seed, i)).collect();
         let mut tree = vec![level.clone()];
         for _ in 0..height {
-            let mut next = Vec::with_capacity(level.len() / 2);
-            for pair in level.chunks_exact(2) {
-                next.push(node_hash(&pair[0], &pair[1]));
-            }
+            // The nodes of one level are independent: lane-batch them.
+            let preimages: Vec<[u8; NODE_PREIMAGE_LEN]> = level
+                .chunks_exact(2)
+                .map(|pair| node_preimage(&pair[0], &pair[1]))
+                .collect();
+            let refs: Vec<&[u8]> = preimages.iter().map(|p| &p[..]).collect();
+            let next = sha256_many(&refs);
             tree.push(next.clone());
             level = next;
         }
@@ -176,15 +193,19 @@ impl Keypair {
         self.next_leaf += 1;
 
         let msg_digest = sha256(message);
+        // Re-derive both secrets of every bit position in one batch
+        // (2·MSG_BITS independent single-block digests), then hash the
+        // unrevealed half in a second batch.
+        let secrets = leaf_secrets(self.seed, leaf);
         let mut revealed = Vec::with_capacity(MSG_BITS);
-        let mut unrevealed_hashes = Vec::with_capacity(MSG_BITS);
+        let mut others = Vec::with_capacity(MSG_BITS);
         for bit_idx in 0..MSG_BITS {
             let bit = digest_bit(&msg_digest, bit_idx);
-            let chosen = lamport_secret(self.seed, leaf, bit_idx, bit);
-            let other = lamport_secret(self.seed, leaf, bit_idx, !bit);
-            revealed.push(chosen);
-            unrevealed_hashes.push(sha256(&other));
+            revealed.push(secrets[2 * bit_idx + bit as usize].0);
+            others.push(secrets[2 * bit_idx + !bit as usize]);
         }
+        let other_refs: Vec<&[u8]> = others.iter().map(Digest::as_bytes).collect();
+        let unrevealed_hashes = sha256_many(&other_refs);
 
         let mut auth_path = Vec::with_capacity(self.height as usize);
         let mut idx = leaf;
@@ -208,28 +229,41 @@ impl PublicKey {
         self.root
     }
 
+    /// Structural checks that must pass before any hashing work is
+    /// allocated: vector lengths and the leaf-index bound. Shared by
+    /// the scalar and lane-batched verify paths so both reject the same
+    /// malformed signatures at the same point.
+    fn well_formed(&self, sig: &Signature) -> bool {
+        sig.revealed.len() == MSG_BITS
+            && sig.unrevealed_hashes.len() == MSG_BITS
+            && sig.auth_path.len() == self.height as usize
+            && sig.leaf_index < (1usize << self.height)
+    }
+
     /// Verifies `sig` over `message`.
+    ///
+    /// The MSG_BITS revealed secrets are independent single-block
+    /// digests, so they run through the multi-lane kernel in one batch
+    /// (bit-identical to hashing each in turn — `TURQUOIS_SCALAR_SHA=1`
+    /// forces the scalar engine as the differential oracle).
     pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
-        if sig.revealed.len() != MSG_BITS
-            || sig.unrevealed_hashes.len() != MSG_BITS
-            || sig.auth_path.len() != self.height as usize
-            || sig.leaf_index >= (1usize << self.height)
-        {
+        if !self.well_formed(sig) {
             return false;
         }
         let msg_digest = sha256(message);
         // Reconstruct the leaf's Lamport public key from revealed secrets
         // (hashed) and the provided unrevealed hashes, then hash to the
         // leaf commitment.
+        let revealed_refs: Vec<&[u8]> = sig.revealed.iter().map(|r| &r[..]).collect();
+        let revealed_hashes = sha256_many(&revealed_refs);
         let mut leaf_hasher = crate::sha256::Sha256::new();
-        leaf_hasher.update(b"turquois-hashsig-leaf");
-        for bit_idx in 0..MSG_BITS {
+        leaf_hasher.update(LEAF_TAG);
+        for (bit_idx, revealed_hash) in revealed_hashes.iter().enumerate() {
             let bit = digest_bit(&msg_digest, bit_idx);
-            let revealed_hash = sha256(&sig.revealed[bit_idx]);
             let (h0, h1) = if bit {
-                (sig.unrevealed_hashes[bit_idx], revealed_hash)
+                (sig.unrevealed_hashes[bit_idx], *revealed_hash)
             } else {
-                (revealed_hash, sig.unrevealed_hashes[bit_idx])
+                (*revealed_hash, sig.unrevealed_hashes[bit_idx])
             };
             leaf_hasher.update(h0.as_bytes());
             leaf_hasher.update(h1.as_bytes());
@@ -252,31 +286,57 @@ fn digest_bit(d: &Digest, bit_idx: usize) -> bool {
     (d.0[bit_idx / 8] >> (7 - bit_idx % 8)) & 1 == 1
 }
 
-fn lamport_secret(seed: u64, leaf: usize, bit_idx: usize, bit: bool) -> [u8; DIGEST_LEN] {
-    sha256_concat(&[
-        b"turquois-hashsig-secret",
-        &seed.to_be_bytes(),
-        &(leaf as u64).to_be_bytes(),
-        &(bit_idx as u32).to_be_bytes(),
-        &[bit as u8],
-    ])
-    .0
+/// Builds the derivation preimage of one Lamport secret. Both engines
+/// hash exactly these bytes — the scalar path via [`sha256`], the
+/// batch path via [`sha256_many`] — so the digests agree by
+/// construction.
+fn secret_preimage(seed: u64, leaf: usize, bit_idx: usize, bit: bool) -> [u8; SECRET_PREIMAGE_LEN] {
+    let mut p = [0u8; SECRET_PREIMAGE_LEN];
+    let t = SECRET_TAG.len();
+    p[..t].copy_from_slice(SECRET_TAG);
+    p[t..t + 8].copy_from_slice(&seed.to_be_bytes());
+    p[t + 8..t + 16].copy_from_slice(&(leaf as u64).to_be_bytes());
+    p[t + 16..t + 20].copy_from_slice(&(bit_idx as u32).to_be_bytes());
+    p[t + 20] = bit as u8;
+    p
+}
+
+/// Derives both secrets of every bit position of one leaf
+/// (`2·MSG_BITS` digests, ordered `[bit 0: false, true, bit 1: …]`) in
+/// a single lane batch.
+fn leaf_secrets(seed: u64, leaf: usize) -> Vec<Digest> {
+    let preimages: Vec<[u8; SECRET_PREIMAGE_LEN]> = (0..MSG_BITS)
+        .flat_map(|bit_idx| [false, true].map(|bit| secret_preimage(seed, leaf, bit_idx, bit)))
+        .collect();
+    let refs: Vec<&[u8]> = preimages.iter().map(|p| &p[..]).collect();
+    sha256_many(&refs)
 }
 
 fn leaf_hash(seed: u64, leaf: usize) -> Digest {
+    let secrets = leaf_secrets(seed, leaf);
+    let secret_refs: Vec<&[u8]> = secrets.iter().map(Digest::as_bytes).collect();
+    let secret_hashes = sha256_many(&secret_refs);
     let mut h = crate::sha256::Sha256::new();
-    h.update(b"turquois-hashsig-leaf");
-    for bit_idx in 0..MSG_BITS {
-        for bit in [false, true] {
-            let secret = lamport_secret(seed, leaf, bit_idx, bit);
-            h.update(sha256(&secret).as_bytes());
-        }
+    h.update(LEAF_TAG);
+    for hash in &secret_hashes {
+        h.update(hash.as_bytes());
     }
     h.finalize()
 }
 
+/// Builds the preimage of one interior Merkle node, for the lane-batched
+/// per-level keygen pass.
+fn node_preimage(left: &Digest, right: &Digest) -> [u8; NODE_PREIMAGE_LEN] {
+    let mut p = [0u8; NODE_PREIMAGE_LEN];
+    let t = NODE_TAG.len();
+    p[..t].copy_from_slice(NODE_TAG);
+    p[t..t + DIGEST_LEN].copy_from_slice(left.as_bytes());
+    p[t + DIGEST_LEN..].copy_from_slice(right.as_bytes());
+    p
+}
+
 fn node_hash(left: &Digest, right: &Digest) -> Digest {
-    sha256_concat(&[b"turquois-hashsig-node", left.as_bytes(), right.as_bytes()])
+    sha256_domain(NODE_TAG, &[left.as_bytes(), right.as_bytes()])
 }
 
 #[cfg(test)]
@@ -377,5 +437,69 @@ mod tests {
         let a = Keypair::generate(3, 42);
         let b = Keypair::generate(3, 42);
         assert_eq!(a.public_key(), b.public_key());
+    }
+
+    #[test]
+    fn scalar_and_batched_engines_agree_end_to_end() {
+        use crate::sha256::multilane::{scalar_sha_enabled, set_scalar_sha, test_knob_lock};
+        let _guard = test_knob_lock();
+        let initial = scalar_sha_enabled();
+        set_scalar_sha(true);
+        let mut scalar_kp = Keypair::generate(2, 42);
+        let scalar_sig = scalar_kp.sign(b"cross-engine").expect("leaf");
+        set_scalar_sha(false);
+        let mut lane_kp = Keypair::generate(2, 42);
+        let lane_sig = lane_kp.sign(b"cross-engine").expect("leaf");
+        // Keys, signatures, and verdicts must not depend on the engine.
+        assert_eq!(scalar_kp.public_key(), lane_kp.public_key());
+        assert_eq!(scalar_sig.revealed, lane_sig.revealed);
+        assert_eq!(scalar_sig.unrevealed_hashes, lane_sig.unrevealed_hashes);
+        assert_eq!(scalar_sig.auth_path, lane_sig.auth_path);
+        assert!(lane_kp.public_key().verify(b"cross-engine", &scalar_sig));
+        set_scalar_sha(true);
+        assert!(lane_kp.public_key().verify(b"cross-engine", &lane_sig));
+        set_scalar_sha(initial);
+    }
+
+    #[test]
+    fn scalar_and_batched_reject_same_malformed_signatures() {
+        use crate::sha256::multilane::{scalar_sha_enabled, set_scalar_sha, test_knob_lock};
+        let _guard = test_knob_lock();
+        let initial = scalar_sha_enabled();
+        set_scalar_sha(false);
+        let mut kp = Keypair::generate(2, 11);
+        let good = kp.sign(b"msg").expect("leaf");
+        let mut variants: Vec<(&str, Signature)> = Vec::new();
+        let mut s = good.clone();
+        s.leaf_index = 1 << 30;
+        variants.push(("oversized leaf_index", s));
+        let mut s = good.clone();
+        s.revealed.pop();
+        variants.push(("truncated revealed", s));
+        let mut s = good.clone();
+        s.unrevealed_hashes.push(Digest::ZERO);
+        variants.push(("oversized unrevealed", s));
+        let mut s = good.clone();
+        s.auth_path.clear();
+        variants.push(("missing auth path", s));
+        let mut s = good.clone();
+        s.revealed[3][0] ^= 1;
+        variants.push(("tampered secret", s));
+        let mut s = good.clone();
+        s.auth_path[0].0[0] ^= 1;
+        variants.push(("tampered path", s));
+        for (label, sig) in &variants {
+            set_scalar_sha(true);
+            let scalar = kp.public_key().verify(b"msg", sig);
+            set_scalar_sha(false);
+            let batched = kp.public_key().verify(b"msg", sig);
+            assert_eq!(scalar, batched, "engines disagree on {label}");
+            assert!(!batched, "{label} must be rejected");
+        }
+        set_scalar_sha(true);
+        assert!(kp.public_key().verify(b"msg", &good), "scalar accepts good");
+        set_scalar_sha(false);
+        assert!(kp.public_key().verify(b"msg", &good), "batched accepts good");
+        set_scalar_sha(initial);
     }
 }

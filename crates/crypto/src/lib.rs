@@ -46,7 +46,12 @@
 //! assert!(!keys.verification_keys().verify(3, Value::Zero, &sig));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: `sha256::multilane` carries the crate's single
+// sanctioned `unsafe` — calling the AVX2-recompiled copy of the (fully
+// safe, portable) lane kernel after `is_x86_feature_detected!` proves
+// the host supports it. Everything else stays unsafe-free; new
+// exceptions need the same justification and a scoped `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;

@@ -21,8 +21,16 @@
 //! scheme (see `DESIGN.md` §4 for the substitution argument).
 
 use crate::hashsig;
-use crate::sha256::{sha256_concat, Digest, DIGEST_LEN};
+use crate::sha256::multilane::sha256_many;
+use crate::sha256::{Digest, DIGEST_LEN};
 use std::fmt;
+
+/// Domain tag of a one-time secret-key derivation.
+const SECRET_TAG: &[u8] = b"turquois-otss-v1";
+
+/// Byte length of a derivation preimage:
+/// `tag ‖ seed ‖ process ‖ phase ‖ value`.
+const SECRET_PREIMAGE_LEN: usize = SECRET_TAG.len() + 8 + 8 + 4 + 1;
 
 /// A proposal value as seen by the signature scheme: `0`, `1`, or `⊥`.
 ///
@@ -192,6 +200,14 @@ impl VerificationKeyArray {
         crate::sha256::sha256(&sig.0) == expected
     }
 
+    /// Like [`VerificationKeyArray::verify`] with `H(sig)` already
+    /// computed, so a multi-epoch scan (or a lane-batched caller)
+    /// hashes each signature exactly once instead of once per epoch.
+    pub fn verify_hashed(&self, phase: u32, value: Value, sig_hash: &Digest) -> bool {
+        self.key(phase, value)
+            .is_some_and(|expected| *sig_hash == expected)
+    }
+
     /// Looks up `VK[phase][value]`, if that slot exists.
     pub fn key(&self, phase: u32, value: Value) -> Option<Digest> {
         if phase < self.first_phase {
@@ -272,22 +288,31 @@ impl KeyPairArray {
     pub fn generate_epoch(process: usize, first_phase: u32, num_phases: usize, seed: u64) -> Self {
         assert!(first_phase >= 1, "phases are 1-based");
         assert!(num_phases >= 1, "a key array must cover at least one phase");
-        let mut secrets = Vec::with_capacity(num_phases);
-        let mut rows = Vec::with_capacity(num_phases);
+        // Every legal slot is an independent single-block derivation
+        // followed by an independent verification hash, so two lane
+        // batches cover the whole epoch (paper footnote 3 still skips
+        // the ⊥ slot of non-DECIDE phases).
+        let mut slots: Vec<(usize, Value)> = Vec::with_capacity(num_phases * 3);
+        let mut preimages: Vec<[u8; SECRET_PREIMAGE_LEN]> = Vec::with_capacity(num_phases * 3);
         for r in 0..num_phases {
             let phase = first_phase + r as u32;
-            let mut secret_row = [[0u8; DIGEST_LEN]; 3];
-            let mut vk_row = [Digest::ZERO; 3];
             for value in Value::ALL {
                 if value == Value::Bot && !bot_legal_at(phase) {
-                    continue; // paper footnote 3
+                    continue;
                 }
-                let sk = derive_secret(seed, process, phase, value);
-                secret_row[value.index()] = sk;
-                vk_row[value.index()] = crate::sha256::sha256(&sk);
+                slots.push((r, value));
+                preimages.push(secret_preimage(seed, process, phase, value));
             }
-            secrets.push(secret_row);
-            rows.push(vk_row);
+        }
+        let refs: Vec<&[u8]> = preimages.iter().map(|p| &p[..]).collect();
+        let sks = sha256_many(&refs);
+        let sk_refs: Vec<&[u8]> = sks.iter().map(Digest::as_bytes).collect();
+        let vks = sha256_many(&sk_refs);
+        let mut secrets = vec![[[0u8; DIGEST_LEN]; 3]; num_phases];
+        let mut rows = vec![[Digest::ZERO; 3]; num_phases];
+        for ((&(r, value), sk), vk) in slots.iter().zip(&sks).zip(&vks) {
+            secrets[r][value.index()] = sk.0;
+            rows[r][value.index()] = *vk;
         }
         KeyPairArray {
             secrets,
@@ -325,15 +350,18 @@ impl KeyPairArray {
     }
 }
 
-fn derive_secret(seed: u64, process: usize, phase: u32, value: Value) -> [u8; DIGEST_LEN] {
-    sha256_concat(&[
-        b"turquois-otss-v1",
-        &seed.to_be_bytes(),
-        &(process as u64).to_be_bytes(),
-        &phase.to_be_bytes(),
-        &[value.index() as u8],
-    ])
-    .0
+/// Builds the derivation preimage of one one-time secret. The scalar
+/// oracle ([`crate::sha256::sha256_domain`] over the same tag and
+/// parts) and the lane batch hash exactly these bytes.
+fn secret_preimage(seed: u64, process: usize, phase: u32, value: Value) -> [u8; SECRET_PREIMAGE_LEN] {
+    let mut p = [0u8; SECRET_PREIMAGE_LEN];
+    let t = SECRET_TAG.len();
+    p[..t].copy_from_slice(SECRET_TAG);
+    p[t..t + 8].copy_from_slice(&seed.to_be_bytes());
+    p[t + 8..t + 16].copy_from_slice(&(process as u64).to_be_bytes());
+    p[t + 16..t + 20].copy_from_slice(&phase.to_be_bytes());
+    p[t + 20] = value.index() as u8;
+    p
 }
 
 /// A verification-key array together with the key-exchange signature that
@@ -467,6 +495,32 @@ mod tests {
         let a = KeyPairArray::generate(2, 5, 77);
         let b = KeyPairArray::generate(2, 5, 77);
         assert_eq!(a.verification_keys(), b.verification_keys());
+    }
+
+    #[test]
+    fn scalar_and_batched_keygen_agree() {
+        use crate::sha256::multilane::{scalar_sha_enabled, set_scalar_sha, test_knob_lock};
+        let _guard = test_knob_lock();
+        let initial = scalar_sha_enabled();
+        set_scalar_sha(true);
+        let scalar = KeyPairArray::generate_epoch(3, 4, 9, 123);
+        set_scalar_sha(false);
+        let lanes = KeyPairArray::generate_epoch(3, 4, 9, 123);
+        assert_eq!(scalar.verification_keys(), lanes.verification_keys());
+        assert_eq!(scalar.secrets, lanes.secrets);
+        set_scalar_sha(initial);
+    }
+
+    #[test]
+    fn verify_hashed_matches_verify() {
+        let keys = KeyPairArray::generate(0, 6, 8);
+        let vk = keys.verification_keys();
+        let sig = keys.sign(2, Value::One).expect("in range");
+        let hash = crate::sha256::sha256(&sig.0);
+        assert!(vk.verify_hashed(2, Value::One, &hash));
+        assert!(!vk.verify_hashed(2, Value::Zero, &hash));
+        assert!(!vk.verify_hashed(1, Value::Bot, &hash));
+        assert!(!vk.verify_hashed(99, Value::One, &hash));
     }
 
     #[test]

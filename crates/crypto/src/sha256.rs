@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+pub mod multilane;
+
 /// Length in bytes of a SHA-256 digest.
 pub const DIGEST_LEN: usize = 32;
 
@@ -117,7 +119,7 @@ impl From<[u8; DIGEST_LEN]> for Digest {
     }
 }
 
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -128,7 +130,7 @@ const K: [u32; 64] = [
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
-const H0: [u32; 8] = [
+pub(crate) const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
@@ -319,6 +321,21 @@ pub fn sha256(data: &[u8]) -> Digest {
 /// Hashes the concatenation of several byte slices without allocating.
 pub fn sha256_concat(parts: &[&[u8]]) -> Digest {
     let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+/// One-shot digest of `tag ‖ parts…` — the single helper behind every
+/// domain-separated derivation (hash-chain secrets and tree nodes,
+/// one-time-key derivations). Scalar and lane-batched callers build the
+/// same preimage bytes, so routing both through here keeps the two
+/// engines hashing identical input by construction.
+#[inline]
+pub fn sha256_domain(tag: &[u8], parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(tag);
     for p in parts {
         h.update(p);
     }

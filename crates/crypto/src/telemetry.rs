@@ -24,6 +24,8 @@ thread_local! {
     static VERIFY_CALLS: Cell<u64> = const { Cell::new(0) };
     static CACHE_HITS: Cell<u64> = const { Cell::new(0) };
     static CACHE_MISSES: Cell<u64> = const { Cell::new(0) };
+    static LANE_BLOCKS: Cell<u64> = const { Cell::new(0) };
+    static LANE_SLOTS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Records one SHA-256 compression-function invocation (64-byte block).
@@ -32,6 +34,18 @@ thread_local! {
 #[inline]
 pub(crate) fn count_sha_block() {
     SHA_BLOCKS.with(|c| c.set(c.get() + 1));
+}
+
+/// Records one multi-lane compression step: `real` logical blocks were
+/// issued into a kernel with `width` lane slots (`real < width` on a
+/// ragged final batch — the unused lanes chew a dummy block).
+/// The `real` blocks also count as ordinary SHA blocks, so `sha_blocks`
+/// stays comparable between the scalar and multi-lane engines.
+#[inline]
+pub(crate) fn count_lane_compress(real: u64, width: u64) {
+    SHA_BLOCKS.with(|c| c.set(c.get() + real));
+    LANE_BLOCKS.with(|c| c.set(c.get() + real));
+    LANE_SLOTS.with(|c| c.set(c.get() + width));
 }
 
 /// Records one logical signature/MAC verification request (hit or miss).
@@ -66,6 +80,13 @@ pub struct HotpathSnapshot {
     pub cache_hits: u64,
     /// Memo-cache misses.
     pub cache_misses: u64,
+    /// Logical blocks that went through the multi-lane kernel (a subset
+    /// of `sha_blocks`; the rest ran on the scalar engine).
+    pub lane_blocks: u64,
+    /// Lane slots issued by the multi-lane kernel, counting dummy lanes
+    /// in ragged final batches. `lane_blocks / lane_slots` is the lane
+    /// occupancy; see [`HotpathSnapshot::lanes_utilization`].
+    pub lane_slots: u64,
 }
 
 impl HotpathSnapshot {
@@ -76,6 +97,8 @@ impl HotpathSnapshot {
             verify_calls: VERIFY_CALLS.with(Cell::get),
             cache_hits: CACHE_HITS.with(Cell::get),
             cache_misses: CACHE_MISSES.with(Cell::get),
+            lane_blocks: LANE_BLOCKS.with(Cell::get),
+            lane_slots: LANE_SLOTS.with(Cell::get),
         }
     }
 
@@ -87,6 +110,8 @@ impl HotpathSnapshot {
             verify_calls: self.verify_calls.saturating_sub(earlier.verify_calls),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            lane_blocks: self.lane_blocks.saturating_sub(earlier.lane_blocks),
+            lane_slots: self.lane_slots.saturating_sub(earlier.lane_slots),
         }
     }
 
@@ -96,6 +121,8 @@ impl HotpathSnapshot {
         self.verify_calls += other.verify_calls;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.lane_blocks += other.lane_blocks;
+        self.lane_slots += other.lane_slots;
     }
 
     /// Cache hit rate in `[0, 1]` (0 when no lookups happened).
@@ -105,6 +132,17 @@ impl HotpathSnapshot {
             0.0
         } else {
             self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Lane occupancy of the multi-lane kernel in `[0, 1]`: logical
+    /// blocks issued per lane slot (0 when the kernel never ran, 1 when
+    /// every compression step filled all its lanes).
+    pub fn lanes_utilization(&self) -> f64 {
+        if self.lane_slots == 0 {
+            0.0
+        } else {
+            self.lane_blocks as f64 / self.lane_slots as f64
         }
     }
 }
@@ -163,16 +201,24 @@ mod tests {
             verify_calls: 5,
             cache_hits: 3,
             cache_misses: 2,
+            lane_blocks: 8,
+            lane_slots: 12,
         };
         let b = HotpathSnapshot {
             sha_blocks: 4,
             verify_calls: 2,
             cache_hits: 1,
             cache_misses: 1,
+            lane_blocks: 2,
+            lane_slots: 4,
         };
         let d = a.delta_since(&b);
         assert_eq!(d.sha_blocks, 6);
         assert_eq!(d.verify_calls, 3);
+        assert_eq!(d.lane_blocks, 6);
+        assert_eq!(d.lane_slots, 8);
+        assert!((a.lanes_utilization() - 8.0 / 12.0).abs() < 1e-12);
+        assert_eq!(HotpathSnapshot::default().lanes_utilization(), 0.0);
         let mut sum = b;
         sum.add(&d);
         assert_eq!(sum, a);

@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 use turquois_crypto::hashsig;
-use turquois_crypto::hmac::HmacKey;
+use turquois_crypto::hmac::{hmac_many, HmacKey};
 use turquois_crypto::otss::{KeyPairArray, OneTimeSignature, Value};
+use turquois_crypto::sha256::multilane::sha256_many;
 use turquois_crypto::sha256::{sha256, Digest, Sha256};
 use turquois_crypto::threshold::Dealer;
 
@@ -32,6 +33,43 @@ proptest! {
         }
         h.update(&data[at..]);
         prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// The multi-lane batch digest equals the scalar one-shot digest on
+    /// every input of any ragged batch: arbitrary batch sizes (covering
+    /// the 8-wide drain, the 4-lane and 8-lane remainder paths with
+    /// dummy lanes, and the singleton scalar path) over arbitrary
+    /// lengths (covering 1- and 2-block padded tails and multi-block
+    /// messages that group by block count).
+    #[test]
+    fn sha256_many_matches_scalar_oneshot(
+        inputs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 0..20),
+    ) {
+        let refs: Vec<&[u8]> = inputs.iter().map(|v| &v[..]).collect();
+        let batched = sha256_many(&refs);
+        prop_assert_eq!(batched.len(), inputs.len());
+        for (input, digest) in inputs.iter().zip(&batched) {
+            prop_assert_eq!(*digest, sha256(input));
+        }
+    }
+
+    /// Lane-batched HMAC finishes equal the scalar per-pair tags for
+    /// any ragged batch of keys and message lengths.
+    #[test]
+    fn hmac_many_matches_scalar_macs(
+        key_seeds in prop::collection::vec(any::<[u8; 16]>(), 1..4),
+        picks in prop::collection::vec((any::<u8>(), prop::collection::vec(any::<u8>(), 0..200)), 0..16),
+    ) {
+        let keys: Vec<HmacKey> = key_seeds.iter().map(|s| HmacKey::from_bytes(s)).collect();
+        let items: Vec<(&HmacKey, &[u8])> = picks
+            .iter()
+            .map(|(pick, msg)| (&keys[*pick as usize % keys.len()], &msg[..]))
+            .collect();
+        let batched = hmac_many(&items);
+        prop_assert_eq!(batched.len(), items.len());
+        for ((key, msg), tag) in items.iter().zip(&batched) {
+            prop_assert_eq!(*tag, key.mac(msg));
+        }
     }
 
     /// Hex round-trips.

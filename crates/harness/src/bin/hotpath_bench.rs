@@ -1,8 +1,10 @@
 //! Host-side hot-path benchmark: runs the same shrunk Table-1 grid
-//! twice in one process — verification memoization force-disabled,
-//! then enabled — asserts the rendered tables are byte-identical
-//! (memoization must never change a simulated result), and writes the
-//! before/after wall-clock plus SHA-256/cache telemetry to
+//! three times in one process — verification memoization
+//! force-disabled, memoization enabled (scalar SHA-256), then
+//! memoization plus the multi-lane SHA-256 kernel — asserts the
+//! rendered tables are byte-identical across all passes (no host
+//! optimisation may change a simulated result), and writes the
+//! wall-clock plus SHA-256/cache/lane telemetry to
 //! `results/BENCH_hotpath.json` (override: `TURQUOIS_HOTPATH_JSON`).
 //!
 //! Usage: `hotpath_bench [reps]` (default 3). `TURQUOIS_REPS`,
@@ -20,6 +22,7 @@
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+use turquois_crypto::sha256::multilane::{set_scalar_sha, SCALAR_SHA_ENV};
 use turquois_crypto::telemetry::set_memo_enabled;
 use turquois_harness::experiment::{
     paper_table_supervised_with, render_table, reps_from_env, sizes_from_env, time_limit_from_env,
@@ -82,8 +85,16 @@ fn main() {
 
     let mut passes: Vec<Pass> = Vec::new();
     let mut unhealthy = false;
-    for (label, enabled) in [("memo-disabled", false), ("memo-enabled", true)] {
-        set_memo_enabled(enabled);
+    // The first two passes force the scalar engine so their wall-clock
+    // numbers stay comparable with pre-multilane history; the third
+    // isolates what the lane kernel buys on top of memoization.
+    for (label, memo, scalar) in [
+        ("memo-disabled", false, true),
+        ("memo-enabled", true, true),
+        ("multilane", true, false),
+    ] {
+        set_memo_enabled(memo);
+        set_scalar_sha(scalar);
         let start = Instant::now();
         let (rows, health, _report) = paper_table_supervised_with(
             FaultLoad::FailureFree,
@@ -111,13 +122,15 @@ fn main() {
         }
         eprintln!(
             "[hotpath] {label}: wall={wall_s:.3}s sha-blocks={} verifies={} \
-             cache-hits={} cache-misses={} bytes-copied={} bytes-saved={}",
+             cache-hits={} cache-misses={} bytes-copied={} bytes-saved={} \
+             lanes-utilization={:.1}%",
             hotpath.sha_blocks,
             hotpath.verify_calls,
             hotpath.cache_hits,
             hotpath.cache_misses,
             hotpath.bytes_copied,
-            hotpath.bytes_saved
+            hotpath.bytes_saved,
+            100.0 * hotpath.lanes_utilization()
         );
         passes.push(Pass {
             label,
@@ -128,39 +141,60 @@ fn main() {
             hotpath,
         });
     }
-    // Leave the process-wide switch the way the environment asked for.
+    // Leave the process-wide switches the way the environment asked for.
     set_memo_enabled(true);
+    set_scalar_sha(std::env::var_os(SCALAR_SHA_ENV).is_some_and(|v| !v.is_empty()));
 
-    let (disabled, enabled) = (&passes[0], &passes[1]);
-    assert_eq!(
-        disabled.rendered, enabled.rendered,
-        "memoization changed the rendered table — it must be invisible to simulated results"
-    );
-    assert_eq!(
-        (disabled.queue_drops, disabled.retried),
-        (enabled.queue_drops, enabled.retried),
-        "memoization changed run stats"
-    );
+    let (disabled, enabled, multilane) = (&passes[0], &passes[1], &passes[2]);
+    for pass in [enabled, multilane] {
+        assert_eq!(
+            disabled.rendered, pass.rendered,
+            "pass '{}' changed the rendered table — host optimisations must be \
+             invisible to simulated results",
+            pass.label
+        );
+        assert_eq!(
+            (disabled.queue_drops, disabled.retried),
+            (pass.queue_drops, pass.retried),
+            "pass '{}' changed run stats",
+            pass.label
+        );
+    }
     // The hit/miss bookkeeping is mode-independent by construction; any
-    // drift here means the disabled pass took a different code path.
+    // drift here means a pass took a different code path.
     assert_eq!(
         (disabled.verify_calls(), disabled.hotpath.cache_hits),
         (enabled.verify_calls(), enabled.hotpath.cache_hits),
-        "cache bookkeeping diverged between modes"
+        "cache bookkeeping diverged between memo modes"
+    );
+    assert_eq!(
+        (enabled.verify_calls(), enabled.hotpath.cache_hits),
+        (multilane.verify_calls(), multilane.hotpath.cache_hits),
+        "cache bookkeeping diverged between SHA engines"
+    );
+    // The lane kernel changes how blocks are compressed, never which
+    // blocks exist: dummy lanes are uncounted, so real work matches.
+    assert_eq!(
+        enabled.hotpath.sha_blocks, multilane.hotpath.sha_blocks,
+        "multilane pass compressed a different number of real blocks than scalar"
     );
 
     let reduction =
         disabled.hotpath.sha_blocks as f64 / enabled.hotpath.sha_blocks.max(1) as f64;
-    println!("{}", enabled.rendered);
+    let multilane_speedup = enabled.wall_s / multilane.wall_s.max(1e-9);
+    println!("{}", multilane.rendered);
     println!(
         "hotpath: sha-block reduction {reduction:.2}x \
          (memo-disabled {} -> memo-enabled {}), hit-rate {:.1}%, \
-         wall-clock {:.3}s -> {:.3}s",
+         wall-clock {:.3}s -> {:.3}s -> {:.3}s (multilane {multilane_speedup:.2}x, \
+         lanes-utilization {:.1}%)",
         disabled.hotpath.sha_blocks,
         enabled.hotpath.sha_blocks,
         100.0 * enabled.hotpath.hit_rate(),
         disabled.wall_s,
-        enabled.wall_s
+        enabled.wall_s,
+        multilane.wall_s,
+        100.0 * multilane.hotpath.lanes_utilization()
     );
     if reduction < 2.0 {
         eprintln!(
@@ -168,8 +202,14 @@ fn main() {
              (grid may be too small for the caches to warm up)"
         );
     }
+    if multilane_speedup < 1.0 {
+        eprintln!(
+            "warning: multilane pass ran slower than scalar ({multilane_speedup:.2}x) — \
+             host noise, or the grid is too small for lane batches to form"
+        );
+    }
 
-    if let Some(path) = write_hotpath_json(&sizes, reps, &passes, reduction) {
+    if let Some(path) = write_hotpath_json(&sizes, reps, &passes, reduction, multilane_speedup) {
         eprintln!("[hotpath] wrote {}", path.display());
     }
     if unhealthy {
@@ -191,6 +231,7 @@ fn write_hotpath_json(
     reps: usize,
     passes: &[Pass],
     reduction: f64,
+    multilane_speedup: f64,
 ) -> Option<PathBuf> {
     let path = std::env::var_os("TURQUOIS_HOTPATH_JSON")
         .map(PathBuf::from)
@@ -216,7 +257,8 @@ fn write_hotpath_json(
         json.push_str(&format!(
             "    {{\"label\": \"{}\", \"wall_s\": {:.3}, \"sha_blocks\": {}, \
              \"verify_calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"hit_rate\": {:.4}, \"bytes_copied\": {}, \"bytes_saved\": {}}}{}\n",
+             \"hit_rate\": {:.4}, \"bytes_copied\": {}, \"bytes_saved\": {}, \
+             \"lane_blocks\": {}, \"lane_slots\": {}, \"lanes_utilization\": {:.4}}}{}\n",
             p.label,
             p.wall_s,
             p.hotpath.sha_blocks,
@@ -226,11 +268,15 @@ fn write_hotpath_json(
             p.hotpath.hit_rate(),
             p.hotpath.bytes_copied,
             p.hotpath.bytes_saved,
+            p.hotpath.lane_blocks,
+            p.hotpath.lane_slots,
+            p.hotpath.lanes_utilization(),
             if i + 1 < passes.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
-    json.push_str(&format!("  \"sha_block_reduction\": {reduction:.2}\n"));
+    json.push_str(&format!("  \"sha_block_reduction\": {reduction:.2},\n"));
+    json.push_str(&format!("  \"multilane_speedup\": {multilane_speedup:.2}\n"));
     json.push_str("}\n");
     match std::fs::write(&path, json) {
         Ok(()) => Some(path),

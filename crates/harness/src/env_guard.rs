@@ -25,6 +25,7 @@ pub const KNOWN_ENV_VARS: &[&str] = &[
     "TURQUOIS_PARTITION_JSON",
     "TURQUOIS_REPS",
     "TURQUOIS_SABOTAGE",
+    "TURQUOIS_SCALAR_SHA",
     "TURQUOIS_SIMCORE_JSON",
     "TURQUOIS_SIZES",
     "TURQUOIS_THREADS",
@@ -64,17 +65,23 @@ mod tests {
         std::env::set_var("TURQUOIS_REPS", "2");
         std::env::set_var("TURQUOIS_LEGACY_MEDIUM", "1");
         std::env::set_var("TURQUOIS_PARTITION_JSON", "/tmp/bp.json");
+        std::env::set_var("TURQUOIS_SCALAR_SHA", "1");
+        std::env::set_var("TURQUOIS_SCALER_SHA", "1");
         let unknown = warn_unknown_env_vars();
         std::env::remove_var("TURQUOIS_REPETITIONS");
         std::env::remove_var("TURQUOIS_LEGACY_MEDUIM");
         std::env::remove_var("TURQUOIS_REPS");
         std::env::remove_var("TURQUOIS_LEGACY_MEDIUM");
         std::env::remove_var("TURQUOIS_PARTITION_JSON");
+        std::env::remove_var("TURQUOIS_SCALAR_SHA");
+        std::env::remove_var("TURQUOIS_SCALER_SHA");
         assert!(unknown.contains(&"TURQUOIS_REPETITIONS".to_string()));
         assert!(unknown.contains(&"TURQUOIS_LEGACY_MEDUIM".to_string()));
+        assert!(unknown.contains(&"TURQUOIS_SCALER_SHA".to_string()));
         assert!(!unknown.contains(&"TURQUOIS_REPS".to_string()));
         assert!(!unknown.contains(&"TURQUOIS_LEGACY_MEDIUM".to_string()));
         assert!(!unknown.contains(&"TURQUOIS_PARTITION_JSON".to_string()));
+        assert!(!unknown.contains(&"TURQUOIS_SCALAR_SHA".to_string()));
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub struct HotpathTotals {
     /// Payload bytes the zero-copy receive path handed on by reference
     /// instead of copying (each count is a copy the legacy path made).
     pub bytes_saved: u64,
+    /// Real compression blocks that went through the multi-lane kernel
+    /// (a subset of `sha_blocks`; dummy lanes are never counted).
+    pub lane_blocks: u64,
+    /// Lane slots those multi-lane calls provided (`width × rounds`);
+    /// `lane_blocks / lane_slots` is the kernel's occupancy.
+    pub lane_slots: u64,
 }
 
 impl HotpathTotals {
@@ -53,6 +59,8 @@ impl HotpathTotals {
         self.cache_misses += other.cache_misses;
         self.bytes_copied += other.bytes_copied;
         self.bytes_saved += other.bytes_saved;
+        self.lane_blocks += other.lane_blocks;
+        self.lane_slots += other.lane_slots;
     }
 
     /// Cache hit rate in `[0, 1]` (0 when no lookups happened).
@@ -61,6 +69,17 @@ impl HotpathTotals {
             0.0
         } else {
             self.cache_hits as f64 / self.verify_calls as f64
+        }
+    }
+
+    /// Multi-lane kernel occupancy in `[0, 1]`: real blocks per lane
+    /// slot (0 when nothing went through the lanes — e.g. under
+    /// `TURQUOIS_SCALAR_SHA=1`).
+    pub fn lanes_utilization(&self) -> f64 {
+        if self.lane_slots == 0 {
+            0.0
+        } else {
+            self.lane_blocks as f64 / self.lane_slots as f64
         }
     }
 }
@@ -82,6 +101,8 @@ fn with_hotpath<T>(f: impl FnOnce() -> T) -> (T, HotpathTotals) {
         cache_misses: d.cache_misses,
         bytes_copied: bytes::telemetry::bytes_copied().saturating_sub(copied_before),
         bytes_saved: bytes::telemetry::bytes_saved().saturating_sub(saved_before),
+        lane_blocks: d.lane_blocks,
+        lane_slots: d.lane_slots,
     };
     (out, hotpath)
 }
@@ -546,14 +567,15 @@ pub fn table_stats_line(rows: &[TableRow]) -> String {
     if hotpath_stats_enabled() {
         line.push_str(&format!(
             " | hotpath: sha-blocks={} verifies={} cache-hits={} cache-misses={} \
-             hit-rate={:.1}% bytes-copied={} bytes-saved={}",
+             hit-rate={:.1}% bytes-copied={} bytes-saved={} lanes-utilization={:.1}%",
             hotpath.sha_blocks,
             hotpath.verify_calls,
             hotpath.cache_hits,
             hotpath.cache_misses,
             100.0 * hotpath.hit_rate(),
             hotpath.bytes_copied,
-            hotpath.bytes_saved
+            hotpath.bytes_saved,
+            100.0 * hotpath.lanes_utilization()
         ));
     }
     line

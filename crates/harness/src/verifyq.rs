@@ -1,0 +1,92 @@
+//! The per-delivery-tick batched verify queue (DESIGN.md §12).
+//!
+//! Receive adapters verify one frame at a time, but frames arriving in
+//! the same simulated tick (and the per-destination tags of one
+//! broadcast) are *independent* computations over distinct memo keys.
+//! This module collects the computations a tick will actually need —
+//! the memo misses — and drains them through one batched call (the
+//! multi-lane SHA-256 kernel, via `hmac_many` or `sha256_many`) instead
+//! of computing them one at a time.
+//!
+//! The queue is a pure host-side staging area. It never touches the
+//! memo cache itself: callers thread the precomputed values into their
+//! ordinary per-item lookups, which still count the miss, insert the
+//! entry, and evict FIFO exactly as unbatched operation would. The
+//! cache's evolution — and therefore every simulated result — cannot
+//! depend on whether a value was computed in a batch or inline.
+
+/// Plans and executes one tick's batch: dedups `requests` by key, drops
+/// keys for which `cached` already holds an answer, computes the
+/// remaining inputs in one `compute_many` call, and returns the
+/// `(key, value)` pairs for the caller to thread into its memo lookups.
+///
+/// Duplicate keys keep their *first* request's input (the first lookup
+/// inserts the value; later duplicates hit the cache). `compute_many`
+/// must return exactly one value per input, in order.
+pub fn precompute_batch<K: Ord + Clone, R, V>(
+    requests: Vec<(K, R)>,
+    cached: impl Fn(&K) -> bool,
+    compute_many: impl FnOnce(&[R]) -> Vec<V>,
+) -> Vec<(K, V)> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut misses: Vec<(K, R)> = Vec::new();
+    for (key, input) in requests {
+        if cached(&key) || !seen.insert(key.clone()) {
+            continue;
+        }
+        misses.push((key, input));
+    }
+    if misses.is_empty() {
+        return Vec::new();
+    }
+    let (keys, inputs): (Vec<K>, Vec<R>) = misses.into_iter().unzip();
+    let values = compute_many(&inputs);
+    assert_eq!(
+        values.len(),
+        keys.len(),
+        "compute_many must return one value per input"
+    );
+    keys.into_iter().zip(values).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn filters_cached_and_duplicate_keys() {
+        let requests = vec![(1u32, "a"), (2, "b"), (1, "c"), (3, "d"), (2, "e")];
+        let batch = precompute_batch(
+            requests,
+            |&k| k == 3, // 3 is already cached
+            |inputs| inputs.iter().map(|s| s.to_uppercase()).collect(),
+        );
+        // 1 keeps its first input, 2 likewise, 3 was cached.
+        assert_eq!(batch, vec![(1, "A".to_string()), (2, "B".to_string())]);
+    }
+
+    #[test]
+    fn empty_and_fully_cached_batches_skip_compute() {
+        let ran = Cell::new(false);
+        let compute = |_: &[&str]| {
+            ran.set(true);
+            Vec::<u8>::new()
+        };
+        assert!(precompute_batch::<u32, &str, u8>(vec![], |_| false, compute).is_empty());
+        assert!(!ran.get());
+        let compute = |_: &[&str]| {
+            ran.set(true);
+            Vec::<u8>::new()
+        };
+        let all_cached = vec![(1u32, "x"), (2, "y")];
+        assert!(precompute_batch(all_cached, |_| true, compute).is_empty());
+        assert!(!ran.get(), "no misses, no batch computation");
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per input")]
+    fn mismatched_compute_length_panics() {
+        precompute_batch(vec![(1u32, ())], |_| false, |_| Vec::<u8>::new());
+    }
+}

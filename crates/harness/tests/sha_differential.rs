@@ -1,0 +1,57 @@
+//! CI differential smoke: the multi-lane SHA-256 kernel must be
+//! invisible to every simulated result. Runs the `table1` binary twice
+//! on a shrunk grid — once with the scalar compression engine forced
+//! via `TURQUOIS_SCALAR_SHA=1`, once with the lane kernel enabled (the
+//! default) — and asserts the stdout bytes are identical. Any
+//! divergence means batching changed a verdict, a memo-cache
+//! evolution, or simulated time.
+
+use std::process::Command;
+
+/// Runs the `table1` binary on a shrunk grid with the given SHA engine
+/// and returns its stdout.
+fn run_table1(scalar_sha: bool) -> Vec<u8> {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_table1"));
+    cmd.env("TURQUOIS_SIZES", "4,7")
+        .env("TURQUOIS_REPS", "2")
+        .env("TURQUOIS_TIME_LIMIT", "120")
+        // Keep the child's host-timing JSON out of the source tree.
+        .env(
+            "TURQUOIS_BENCH_JSON",
+            std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("BENCH_sha_differential.json"),
+        )
+        // The hotpath stats line aggregates host-side counters (lane
+        // occupancy in particular) that legitimately differ between
+        // engines; it must stay off (as it is by default) for byte
+        // comparison.
+        .env_remove("TURQUOIS_HOTPATH_STATS");
+    if scalar_sha {
+        cmd.env("TURQUOIS_SCALAR_SHA", "1");
+    } else {
+        cmd.env_remove("TURQUOIS_SCALAR_SHA");
+    }
+    let out = cmd.output().expect("table1 runs");
+    assert!(
+        out.status.success(),
+        "table1 (scalar_sha={scalar_sha}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn table1_output_is_byte_identical_with_scalar_and_multilane_sha() {
+    let scalar = run_table1(true);
+    let multilane = run_table1(false);
+    assert!(
+        !multilane.is_empty(),
+        "table1 produced no output — smoke setup is broken"
+    );
+    assert_eq!(
+        scalar,
+        multilane,
+        "the SHA engine changed table1's stdout:\n--- scalar ---\n{}\n--- multilane ---\n{}",
+        String::from_utf8_lossy(&scalar),
+        String::from_utf8_lossy(&multilane)
+    );
+}
