@@ -28,6 +28,8 @@
 //! cost of the real RSA-class operations is charged by the simulator
 //! through the [`CryptoOps`] counters every call returns.
 
+use crate::gate::legacy_codec_enabled;
+use bytes::arena::EncodeArena;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -210,7 +212,10 @@ fn coin_tag(round: u32) -> Vec<u8> {
 const KIND_PREVOTE: u8 = 1;
 const KIND_MAINVOTE: u8 = 2;
 
-fn put_digest(buf: &mut BytesMut, d: &Digest) {
+/// Encoded size of a [`SigShare`]: party id plus tag.
+const SIG_SHARE_LEN: usize = 2 + DIGEST_LEN;
+
+fn put_digest<B: BufMut>(buf: &mut B, d: &Digest) {
     buf.put_slice(d.as_bytes());
 }
 
@@ -224,7 +229,7 @@ fn get_digest(buf: &mut &[u8]) -> Option<Digest> {
     Some(Digest(out))
 }
 
-fn put_sig_share(buf: &mut BytesMut, s: &SigShare) {
+fn put_sig_share<B: BufMut>(buf: &mut B, s: &SigShare) {
     buf.put_u16(s.party as u16);
     put_digest(buf, &s.tag);
 }
@@ -238,7 +243,16 @@ fn get_sig_share(buf: &mut &[u8]) -> Option<SigShare> {
     Some(SigShare { party, tag })
 }
 
-fn put_prevote_just(buf: &mut BytesMut, just: &PreVoteJust) {
+/// Encoded size of a [`PreVoteJust`] (discriminant byte included).
+fn prevote_just_len(just: &PreVoteJust) -> usize {
+    match just {
+        PreVoteJust::Round1 => 1,
+        PreVoteJust::Hard(_) => 1 + DIGEST_LEN,
+        PreVoteJust::Coin { .. } => 1 + DIGEST_LEN + 1 + DIGEST_LEN,
+    }
+}
+
+fn put_prevote_just<B: BufMut>(buf: &mut B, just: &PreVoteJust) {
     match just {
         PreVoteJust::Round1 => buf.put_u8(0),
         PreVoteJust::Hard(sig) => {
@@ -285,7 +299,12 @@ fn get_prevote_just(buf: &mut &[u8]) -> Option<PreVoteJust> {
     }
 }
 
-fn put_embedded(buf: &mut BytesMut, pv: &EmbeddedPreVote) {
+/// Encoded size of an [`EmbeddedPreVote`].
+fn embedded_len(pv: &EmbeddedPreVote) -> usize {
+    1 + SIG_SHARE_LEN + prevote_just_len(&pv.just)
+}
+
+fn put_embedded<B: BufMut>(buf: &mut B, pv: &EmbeddedPreVote) {
     buf.put_u8(pv.value as u8);
     put_sig_share(buf, &pv.share);
     put_prevote_just(buf, &pv.just);
@@ -311,7 +330,40 @@ fn get_embedded(buf: &mut &[u8]) -> Option<EmbeddedPreVote> {
 impl AbbaMessage {
     /// Encodes for transmission.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(256);
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// The exact wire length [`AbbaMessage::encode`] produces, computed
+    /// arithmetically — no buffer is built. The adapter's RSA airtime
+    /// model uses this instead of a throwaway encode.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            AbbaMessage::PreVote { just, .. } => {
+                1 + 4 + 1 + SIG_SHARE_LEN + prevote_just_len(just)
+            }
+            AbbaMessage::MainVote { just, .. } => {
+                1 + 4
+                    + 1
+                    + SIG_SHARE_LEN
+                    + 2
+                    + DIGEST_LEN
+                    + 1
+                    + match just {
+                        MainVoteJust::ForValue(_) => DIGEST_LEN,
+                        MainVoteJust::Abstain { zero, one } => {
+                            embedded_len(zero) + embedded_len(one)
+                        }
+                    }
+            }
+        }
+    }
+
+    /// Writes the wire encoding into any [`BufMut`] — the same bytes
+    /// [`AbbaMessage::encode`] produces, without forcing a fresh
+    /// buffer (arena callers pass [`bytes::arena::EncodeArena::buf`]).
+    pub fn encode_into<B: BufMut>(&self, buf: &mut B) {
         match self {
             AbbaMessage::PreVote {
                 round,
@@ -322,8 +374,8 @@ impl AbbaMessage {
                 buf.put_u8(KIND_PREVOTE);
                 buf.put_u32(*round);
                 buf.put_u8(*value as u8);
-                put_sig_share(&mut buf, share);
-                put_prevote_just(&mut buf, just);
+                put_sig_share(buf, share);
+                put_prevote_just(buf, just);
             }
             AbbaMessage::MainVote {
                 round,
@@ -335,23 +387,22 @@ impl AbbaMessage {
                 buf.put_u8(KIND_MAINVOTE);
                 buf.put_u32(*round);
                 buf.put_u8(value.encode());
-                put_sig_share(&mut buf, share);
+                put_sig_share(buf, share);
                 buf.put_u16(coin_share.party as u16);
-                put_digest(&mut buf, &coin_share.tag);
+                put_digest(buf, &coin_share.tag);
                 match just {
                     MainVoteJust::ForValue(sig) => {
                         buf.put_u8(0);
-                        put_digest(&mut buf, &sig.tag);
+                        put_digest(buf, &sig.tag);
                     }
                     MainVoteJust::Abstain { zero, one } => {
                         buf.put_u8(1);
-                        put_embedded(&mut buf, zero);
-                        put_embedded(&mut buf, one);
+                        put_embedded(buf, zero);
+                        put_embedded(buf, one);
                     }
                 }
             }
         }
-        buf.freeze()
     }
 
     /// Decodes from wire bytes; `None` for malformed input.
@@ -443,7 +494,7 @@ impl AbbaMessage {
                 }
             }
         };
-        self.encode().len() + objects * INFLATE
+        self.encoded_len() + objects * INFLATE
     }
 }
 
@@ -734,6 +785,10 @@ pub struct Abba {
     decision: Option<bool>,
     stop_round: Option<u32>,
     verify_memo: MemoCache<AbbaVerifyKey>,
+    /// Pooled encode scratch for outgoing wire messages (arena codec;
+    /// unused when `TURQUOIS_LEGACY_CODEC` selects per-message
+    /// builders).
+    arena: EncodeArena,
     _rng: StdRng,
 }
 
@@ -774,8 +829,20 @@ impl Abba {
             decision: None,
             stop_round: None,
             verify_memo: MemoCache::new(ABBA_MEMO_CAP),
+            arena: EncodeArena::new(),
             _rng: StdRng::seed_from_u64(seed ^ 0xabba),
         }
+    }
+
+    /// Encodes `msg` into `out.send` — through the engine's pooled
+    /// arena by default, or the legacy per-message builder under
+    /// `TURQUOIS_LEGACY_CODEC` (byte-identical either way).
+    fn emit(&mut self, msg: &AbbaMessage, out: &mut AbbaOutput) {
+        out.send.push(if legacy_codec_enabled() {
+            msg.encode()
+        } else {
+            self.arena.encode_with(|b| msg.encode_into(b))
+        });
     }
 
     /// Memoized verification: the [`CryptoOps`] counters are bumped by
@@ -832,7 +899,7 @@ impl Abba {
             share,
             just: PreVoteJust::Round1,
         };
-        out.send.push(msg.encode());
+        self.emit(&msg, &mut out);
         out
     }
 
@@ -1043,16 +1110,14 @@ impl Abba {
                 let share = self.keys.sig_key.sign_share(&mv_statement(round, value));
                 let coin_share = self.keys.coin_key.coin_share(&coin_tag(round));
                 out.ops.share_signs += 2;
-                out.send.push(
-                    AbbaMessage::MainVote {
-                        round,
-                        value,
-                        share,
-                        coin_share,
-                        just,
-                    }
-                    .encode(),
-                );
+                let msg = AbbaMessage::MainVote {
+                    round,
+                    value,
+                    share,
+                    coin_share,
+                    just,
+                };
+                self.emit(&msg, out);
                 continue;
             }
 
@@ -1148,15 +1213,13 @@ impl Abba {
                     .sig_key
                     .sign_share(&pv_statement(next_round, next_value));
                 out.ops.share_signs += 1;
-                out.send.push(
-                    AbbaMessage::PreVote {
-                        round: next_round,
-                        value: next_value,
-                        share,
-                        just: next_just,
-                    }
-                    .encode(),
-                );
+                let msg = AbbaMessage::PreVote {
+                    round: next_round,
+                    value: next_value,
+                    share,
+                    just: next_just,
+                };
+                self.emit(&msg, out);
                 // GC old rounds.
                 if next_round > 2 {
                     let floor = next_round - 2;
@@ -1278,12 +1341,62 @@ mod tests {
         for m in messages {
             let bytes = m.encode();
             assert_eq!(AbbaMessage::decode(&bytes), Some(m.clone()));
+            // The arithmetic length matches what encode produced, so
+            // `rsa_equivalent_size` needs no throwaway encode.
+            assert_eq!(m.encoded_len(), bytes.len());
+            // encode_into appends the same bytes, even mid-buffer (the
+            // arena stages messages at arbitrary offsets).
+            let mut staged = Vec::new();
+            staged.put_slice(b"prefix");
+            m.encode_into(&mut staged);
+            assert_eq!(&staged[6..], &bytes[..]);
             // Truncations fail.
             for cut in 0..bytes.len() {
                 assert_eq!(AbbaMessage::decode(&bytes[..cut]), None, "cut {cut}");
             }
         }
         assert_eq!(AbbaMessage::decode(b""), None);
+    }
+
+    /// The arena codec and the legacy owned codec drive byte-identical
+    /// full runs: same wire bytes out of every call, same decisions,
+    /// same crypto-op counts.
+    #[test]
+    fn codec_paths_are_observationally_identical() {
+        fn run(legacy: bool) -> (Vec<(usize, Vec<u8>, CryptoOps)>, Vec<Option<bool>>) {
+            crate::gate::set_legacy_codec(legacy);
+            let n = 4;
+            let mut engines = group(n, 1, &[true, false], 31);
+            let mut trace: Vec<(usize, Vec<u8>, CryptoOps)> = Vec::new();
+            let mut queue: Vec<(usize, Bytes)> = Vec::new();
+            for e in engines.iter_mut() {
+                let out = e.on_start();
+                let me = e.id();
+                queue.extend(out.send.into_iter().map(|b| (me, b)));
+            }
+            let mut iters = 0;
+            while let Some((from, bytes)) = queue.pop() {
+                iters += 1;
+                assert!(iters < 500_000, "livelock");
+                for to in 0..n {
+                    let out = engines[to].on_message(from, &bytes);
+                    for b in out.send {
+                        trace.push((to, b.to_vec(), out.ops));
+                        queue.push((to, b));
+                    }
+                }
+                if engines.iter().all(|e| e.decision().is_some()) {
+                    break;
+                }
+            }
+            crate::gate::set_legacy_codec(false);
+            (trace, engines.iter().map(|e| e.decision()).collect())
+        }
+        let arena = run(false);
+        let legacy = run(true);
+        assert_eq!(arena.0, legacy.0, "wire bytes and crypto ops");
+        assert_eq!(arena.1, legacy.1, "decisions");
+        assert!(arena.1[0].is_some(), "the run decided");
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //! Validation is monotone in delivered evidence, so rejected messages
 //! are kept pending and re-examined as evidence accumulates.
 
-use crate::rbc::{RbcMessage, ReliableBroadcast, Tag};
+use crate::gate::legacy_codec_enabled;
+use crate::rbc::{RbcMessage, RbcView, ReliableBroadcast, Tag};
+use bytes::arena::EncodeArena;
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -247,6 +249,10 @@ pub struct Bracha {
     rng: StdRng,
     /// Total RBC deliveries (diagnostics).
     deliveries: u64,
+    /// Pooled encode scratch for outgoing wire messages (arena codec;
+    /// unused when `TURQUOIS_LEGACY_CODEC` selects per-message
+    /// builders).
+    arena: EncodeArena,
 }
 
 impl Bracha {
@@ -269,6 +275,7 @@ impl Bracha {
             pending: Vec::new(),
             rng: StdRng::seed_from_u64(seed ^ 0xb2ac_4a84),
             deliveries: 0,
+            arena: EncodeArena::new(),
         }
     }
 
@@ -320,16 +327,34 @@ impl Bracha {
     }
 
     /// Processes a wire message from link-layer sender `from`.
+    ///
+    /// Under the default arena codec the wire bytes are parsed into a
+    /// borrowed [`RbcView`] (no payload copy) and outgoing messages
+    /// are encoded through the engine's pooled [`EncodeArena`];
+    /// `TURQUOIS_LEGACY_CODEC` selects the owned decode/encode pair as
+    /// the byte-identical differential oracle (DESIGN.md §13).
     pub fn on_message(&mut self, from: usize, bytes: &[u8]) -> BrachaOutput {
         let mut out = BrachaOutput::default();
-        let Some(msg) = RbcMessage::decode(bytes) else {
-            return out;
+        let deliver = if legacy_codec_enabled() {
+            let Some(msg) = RbcMessage::decode(bytes) else {
+                return out;
+            };
+            let rbc_out = self.rbc.on_message(from, &msg);
+            for m in rbc_out.send {
+                out.send.push(m.encode());
+            }
+            rbc_out.deliver
+        } else {
+            let Some(view) = RbcView::parse(bytes) else {
+                return out;
+            };
+            let rbc_out = self.rbc.on_view(from, &view);
+            for m in rbc_out.send {
+                out.send.push(self.arena.encode_with(|b| m.encode_into(b)));
+            }
+            rbc_out.deliver
         };
-        let rbc_out = self.rbc.on_message(from, &msg);
-        for m in rbc_out.send {
-            out.send.push(m.encode());
-        }
-        for (tag, payload) in rbc_out.deliver {
+        for (tag, payload) in deliver {
             self.deliveries += 1;
             if payload.len() != 1 {
                 continue;
@@ -502,8 +527,13 @@ impl Bracha {
     fn send_current(&mut self, out: &mut BrachaOutput) {
         let payload = Bytes::copy_from_slice(&[self.value.encode()]);
         let rbc_out = self.rbc.broadcast(self.round, self.step, payload);
+        let legacy = legacy_codec_enabled();
         for m in rbc_out.send {
-            out.send.push(m.encode());
+            out.send.push(if legacy {
+                m.encode()
+            } else {
+                self.arena.encode_with(|b| m.encode_into(b))
+            });
         }
     }
 }
@@ -735,6 +765,47 @@ mod tests {
         let out = e.on_message(1, b"garbage");
         assert!(out.send.is_empty());
         assert_eq!(out.newly_decided, None);
+    }
+
+    /// The arena codec and the legacy owned codec drive byte-identical
+    /// full runs: same wire bytes out of every call, same decisions.
+    #[test]
+    fn codec_paths_are_observationally_identical() {
+        fn run(legacy: bool) -> (Vec<(usize, Vec<u8>)>, Vec<Option<bool>>) {
+            crate::gate::set_legacy_codec(legacy);
+            let n = 4;
+            let mut engines = group(n, 1, &[true, false], 21);
+            let mut wire: Vec<(usize, Vec<u8>)> = Vec::new();
+            let mut queue: Vec<(usize, Bytes)> = Vec::new();
+            for e in engines.iter_mut() {
+                let out = e.on_start();
+                let me = e.id();
+                queue.extend(out.send.into_iter().map(|b| (me, b)));
+            }
+            let mut iters = 0;
+            while let Some((from, bytes)) = queue.pop() {
+                iters += 1;
+                assert!(iters < 2_000_000, "livelock");
+                for to in 0..n {
+                    let out = engines[to].on_message(from, &bytes);
+                    for b in out.send {
+                        wire.push((to, b.to_vec()));
+                        queue.push((to, b));
+                    }
+                }
+                if engines.iter().all(|e| e.decision().is_some()) {
+                    break;
+                }
+            }
+            crate::gate::set_legacy_codec(false);
+            (wire, engines.iter().map(|e| e.decision()).collect())
+        }
+        let arena = run(false);
+        let legacy = run(true);
+        assert_eq!(arena.0.len(), legacy.0.len(), "wire message counts");
+        assert_eq!(arena.0, legacy.0, "wire bytes");
+        assert_eq!(arena.1, legacy.1, "decisions");
+        assert!(arena.1[0].is_some(), "the run decided");
     }
 
     proptest::proptest! {

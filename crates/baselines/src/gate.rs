@@ -1,4 +1,4 @@
-//! Layout gate for the baselines' per-round vote stores.
+//! Codec and layout gates for the baseline engines.
 //!
 //! The Bracha and ABBA engines keep per-round, per-sender vote tables
 //! that come in two interchangeable layouts: the original
@@ -49,6 +49,37 @@ pub fn set_legacy_store(enabled: bool) {
     LEGACY_STORE.store(enabled, Ordering::Relaxed);
 }
 
+/// Environment variable selecting the legacy owned-`Vec` message codec
+/// (per-message `BytesMut` builders and copying decoders) instead of
+/// the flat-arena codec (borrowed views + a pooled [`bytes::arena::
+/// EncodeArena`]). Results must be byte-identical either way; the
+/// variable exists as a differential guard, mirroring the other
+/// `TURQUOIS_LEGACY_*` knobs (DESIGN.md §13).
+pub const LEGACY_CODEC_ENV: &str = "TURQUOIS_LEGACY_CODEC";
+
+static LEGACY_CODEC: AtomicBool = AtomicBool::new(false);
+static LEGACY_CODEC_INIT: Once = Once::new();
+
+/// Returns whether this crate's engines use the legacy owned codec.
+///
+/// The first call reads [`LEGACY_CODEC_ENV`]; later calls reuse the
+/// cached value unless [`set_legacy_codec`] overrides it.
+pub fn legacy_codec_enabled() -> bool {
+    LEGACY_CODEC_INIT.call_once(|| {
+        if std::env::var_os(LEGACY_CODEC_ENV).is_some_and(|v| !v.is_empty()) {
+            LEGACY_CODEC.store(true, Ordering::Relaxed);
+        }
+    });
+    LEGACY_CODEC.load(Ordering::Relaxed)
+}
+
+/// Programmatically selects the codec for this crate's engines,
+/// overriding the environment.
+pub fn set_legacy_codec(enabled: bool) {
+    LEGACY_CODEC_INIT.call_once(|| {});
+    LEGACY_CODEC.store(enabled, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,5 +93,15 @@ mod tests {
         set_legacy_store(false);
         assert!(!legacy_store_enabled());
         set_legacy_store(initial);
+    }
+
+    #[test]
+    fn codec_toggle_round_trips() {
+        let initial = legacy_codec_enabled();
+        set_legacy_codec(true);
+        assert!(legacy_codec_enabled());
+        set_legacy_codec(false);
+        assert!(!legacy_codec_enabled());
+        set_legacy_codec(initial);
     }
 }

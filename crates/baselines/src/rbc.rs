@@ -65,22 +65,41 @@ const KIND_INITIAL: u8 = 1;
 const KIND_ECHO: u8 = 2;
 const KIND_READY: u8 = 3;
 
+/// Fixed wire-header length: kind, origin, round, step, payload len.
+const RBC_HEADER_LEN: usize = 1 + 2 + 4 + 1 + 2;
+
 impl RbcMessage {
     /// Encodes for transmission.
     pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(RBC_HEADER_LEN + self.payload().len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Writes the wire encoding into any [`BufMut`] — the same bytes
+    /// [`RbcMessage::encode`] produces, without forcing a fresh buffer
+    /// (arena callers pass [`bytes::arena::EncodeArena::buf`]).
+    pub fn encode_into<B: BufMut>(&self, buf: &mut B) {
         let (kind, tag, payload) = match self {
             RbcMessage::Initial { tag, payload } => (KIND_INITIAL, tag, payload),
             RbcMessage::Echo { tag, payload } => (KIND_ECHO, tag, payload),
             RbcMessage::Ready { tag, payload } => (KIND_READY, tag, payload),
         };
-        let mut buf = BytesMut::with_capacity(1 + 2 + 4 + 1 + 2 + payload.len());
         buf.put_u8(kind);
         buf.put_u16(tag.origin as u16);
         buf.put_u32(tag.round);
         buf.put_u8(tag.step);
         buf.put_u16(payload.len() as u16);
         buf.put_slice(payload);
-        buf.freeze()
+    }
+
+    /// The payload borne by this message (any variant).
+    pub fn payload(&self) -> &Bytes {
+        match self {
+            RbcMessage::Initial { payload, .. }
+            | RbcMessage::Echo { payload, .. }
+            | RbcMessage::Ready { payload, .. } => payload,
+        }
     }
 
     /// Decodes from wire bytes; `None` for malformed input.
@@ -118,6 +137,82 @@ impl RbcMessage {
             | RbcMessage::Ready { tag, .. } => *tag,
         }
     }
+}
+
+/// A borrowed, zero-copy view of one encoded [`RbcMessage`]: the
+/// payload stays an offset range into the receive buffer instead of
+/// being copied into a fresh [`Bytes`] at decode time
+/// ([`RbcView::parse`] accepts and rejects exactly the inputs
+/// [`RbcMessage::decode`] does). [`ReliableBroadcast::on_view`]
+/// consumes the view directly, materializing an owned copy of the
+/// payload only when it first enters a sender table or an outgoing
+/// echo (DESIGN.md §13).
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct RbcView<'a> {
+    kind: u8,
+    tag: Tag,
+    payload: &'a [u8],
+}
+
+impl<'a> RbcView<'a> {
+    /// Parses wire bytes without copying the payload. Returns `None`
+    /// exactly when [`RbcMessage::decode`] would: short input, a
+    /// length field disagreeing with the buffer, or an unknown kind.
+    pub fn parse(bytes: &'a [u8]) -> Option<RbcView<'a>> {
+        if bytes.len() < RBC_HEADER_LEN {
+            return None;
+        }
+        let kind = bytes[0];
+        let origin = u16::from_be_bytes(bytes[1..3].try_into().ok()?) as usize;
+        let round = u32::from_be_bytes(bytes[3..7].try_into().ok()?);
+        let step = bytes[7];
+        let len = u16::from_be_bytes(bytes[8..10].try_into().ok()?) as usize;
+        if bytes.len() != RBC_HEADER_LEN + len {
+            return None;
+        }
+        if !matches!(kind, KIND_INITIAL | KIND_ECHO | KIND_READY) {
+            return None;
+        }
+        Some(RbcView {
+            kind,
+            tag: Tag {
+                origin,
+                round,
+                step,
+            },
+            payload: &bytes[RBC_HEADER_LEN..],
+        })
+    }
+
+    /// The instance tag of this message.
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// The payload, borrowed from the receive buffer.
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// Materializes the owned [`RbcMessage`] this view describes
+    /// (copies the payload).
+    pub fn to_message(&self) -> RbcMessage {
+        let tag = self.tag;
+        let payload = Bytes::copy_from_slice(self.payload);
+        match self.kind {
+            KIND_INITIAL => RbcMessage::Initial { tag, payload },
+            KIND_ECHO => RbcMessage::Echo { tag, payload },
+            _ => RbcMessage::Ready { tag, payload },
+        }
+    }
+}
+
+/// Credits the telemetry counters for one elided legacy decode copy of
+/// a `len`-byte payload: `Bytes::copy_from_slice` costs one buffer
+/// plus one `Arc` under the vendored stub.
+fn credit_elided_copy(len: usize) {
+    bytes::telemetry::count_saved(len);
+    bytes::telemetry::count_allocs_saved(2);
 }
 
 #[derive(Debug, Default)]
@@ -222,6 +317,64 @@ impl ReliableBroadcast {
                     .entry(payload.clone())
                     .or_default()
                     .insert(from);
+                self.evaluate(tag, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Processes a borrowed [`RbcView`] — the same transition function
+    /// as [`ReliableBroadcast::on_message`], but the payload is copied
+    /// into an owned [`Bytes`] only when it first enters a sender
+    /// table or an outgoing echo. Duplicate payloads probe the tables
+    /// by raw slice and allocate nothing; each elided legacy decode
+    /// copy is credited to the [`bytes::telemetry`] counters.
+    pub fn on_view(&mut self, from: usize, view: &RbcView<'_>) -> RbcOutput {
+        let mut out = RbcOutput::default();
+        if from >= self.n {
+            return out;
+        }
+        let tag = view.tag;
+        if tag.origin >= self.n {
+            return out;
+        }
+        match view.kind {
+            KIND_INITIAL => {
+                // Only the origin may initiate its own instance.
+                if from != tag.origin {
+                    return out;
+                }
+                let inst = self.instances.entry(tag).or_default();
+                if !inst.echoed {
+                    inst.echoed = true;
+                    out.send.push(RbcMessage::Echo {
+                        tag,
+                        payload: Bytes::copy_from_slice(view.payload),
+                    });
+                } else {
+                    credit_elided_copy(view.payload.len());
+                }
+            }
+            KIND_ECHO => {
+                let inst = self.instances.entry(tag).or_default();
+                if let Some(senders) = inst.echoes.get_mut(view.payload) {
+                    senders.insert(from);
+                    credit_elided_copy(view.payload.len());
+                } else {
+                    inst.echoes
+                        .insert(Bytes::copy_from_slice(view.payload), BTreeSet::from([from]));
+                }
+                self.evaluate(tag, &mut out);
+            }
+            _ => {
+                let inst = self.instances.entry(tag).or_default();
+                if let Some(senders) = inst.readies.get_mut(view.payload) {
+                    senders.insert(from);
+                    credit_elided_copy(view.payload.len());
+                } else {
+                    inst.readies
+                        .insert(Bytes::copy_from_slice(view.payload), BTreeSet::from([from]));
+                }
                 self.evaluate(tag, &mut out);
             }
         }
@@ -556,5 +709,147 @@ mod tests {
         };
         assert_eq!(e.on_message(9, &msg), RbcOutput::default());
         assert_eq!(e.on_message(1, &msg), RbcOutput::default());
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let tag = Tag {
+            origin: 5,
+            round: 12,
+            step: 3,
+        };
+        for msg in [
+            RbcMessage::Initial {
+                tag,
+                payload: Bytes::copy_from_slice(b"payload"),
+            },
+            RbcMessage::Echo {
+                tag,
+                payload: Bytes::new(),
+            },
+            RbcMessage::Ready {
+                tag,
+                payload: Bytes::copy_from_slice(&[0xff; 40]),
+            },
+        ] {
+            let mut staged = Vec::new();
+            staged.put_slice(b"prefix"); // arena chunks append mid-buffer
+            msg.encode_into(&mut staged);
+            assert_eq!(&staged[6..], &msg.encode()[..]);
+        }
+    }
+
+    /// Mirrored engines driven by the owned decoder and the borrowed
+    /// view stay in lockstep through an entire honest broadcast.
+    #[test]
+    fn view_engine_matches_message_engine() {
+        let n = 4;
+        let mut owned: Vec<ReliableBroadcast> =
+            (0..n).map(|me| ReliableBroadcast::new(n, 1, me)).collect();
+        let mut viewed: Vec<ReliableBroadcast> =
+            (0..n).map(|me| ReliableBroadcast::new(n, 1, me)).collect();
+        let start = owned[2].broadcast(7, 2, Bytes::copy_from_slice(b"lockstep"));
+        let _ = viewed[2].broadcast(7, 2, Bytes::copy_from_slice(b"lockstep"));
+        let mut queue: Vec<(usize, Bytes)> = start
+            .send
+            .iter()
+            .map(|m| (2usize, m.encode()))
+            .collect();
+        while let Some((from, bytes)) = queue.pop() {
+            for to in 0..n {
+                let msg = RbcMessage::decode(&bytes).expect("valid");
+                let a = owned[to].on_message(from, &msg);
+                let view = RbcView::parse(&bytes).expect("valid");
+                let b = viewed[to].on_view(from, &view);
+                assert_eq!(a, b, "outputs diverged at process {to}");
+                queue.extend(a.send.into_iter().map(|m| (to, m.encode())));
+            }
+        }
+        for (a, b) in owned.iter().zip(&viewed) {
+            let tag = Tag {
+                origin: 2,
+                round: 7,
+                step: 2,
+            };
+            assert_eq!(a.delivered(tag), b.delivered(tag));
+        }
+    }
+
+    /// Duplicate payloads probe the sender tables without copying, and
+    /// the elided copies show up in the telemetry counters.
+    #[test]
+    fn view_duplicates_save_copies() {
+        let mut e = ReliableBroadcast::new(7, 2, 0);
+        let tag = Tag {
+            origin: 1,
+            round: 1,
+            step: 1,
+        };
+        let wire = RbcMessage::Echo {
+            tag,
+            payload: Bytes::copy_from_slice(b"dup-payload"),
+        }
+        .encode();
+        let view = RbcView::parse(&wire).expect("valid");
+        let copied0 = bytes::telemetry::bytes_copied();
+        let saved0 = bytes::telemetry::bytes_saved();
+        let allocs0 = bytes::telemetry::allocs_saved();
+        let _ = e.on_view(1, &view); // first sight: one owned key copy
+        assert_eq!(bytes::telemetry::bytes_copied(), copied0 + 11);
+        assert_eq!(bytes::telemetry::bytes_saved(), saved0);
+        let _ = e.on_view(2, &view); // duplicate: zero copies
+        assert_eq!(bytes::telemetry::bytes_copied(), copied0 + 11);
+        assert_eq!(bytes::telemetry::bytes_saved(), saved0 + 11);
+        assert_eq!(bytes::telemetry::allocs_saved(), allocs0 + 2);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// [`RbcView::parse`] accepts and rejects exactly the byte
+        /// strings [`RbcMessage::decode`] does, and agrees on content.
+        #[test]
+        fn view_parse_agrees_with_decode(bytes in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..64)) {
+            let owned = RbcMessage::decode(&bytes);
+            let view = RbcView::parse(&bytes);
+            match (owned, view) {
+                (None, None) => {}
+                (Some(m), Some(v)) => proptest::prop_assert_eq!(m, v.to_message()),
+                (m, v) => proptest::prop_assert!(false, "divergence: {:?} vs {:?}", m, v),
+            }
+        }
+
+        /// Error parity on every truncation prefix and on trailing
+        /// garbage, for every message kind.
+        #[test]
+        fn view_error_parity_on_mangled_wire(
+            kind in 1u8..4,
+            origin in 0u16..9,
+            round in 1u32..100,
+            step in 0u8..4,
+            payload in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..24),
+        ) {
+            let tag = Tag { origin: origin as usize, round, step };
+            let payload = Bytes::copy_from_slice(&payload);
+            let msg = match kind {
+                1 => RbcMessage::Initial { tag, payload },
+                2 => RbcMessage::Echo { tag, payload },
+                _ => RbcMessage::Ready { tag, payload },
+            };
+            let wire = msg.encode();
+            for cut in 0..=wire.len() {
+                let prefix = &wire[..cut];
+                let owned = RbcMessage::decode(prefix);
+                let view = RbcView::parse(prefix).map(|v| v.to_message());
+                proptest::prop_assert_eq!(&owned, &view, "cut={}", cut);
+                if cut == wire.len() {
+                    proptest::prop_assert_eq!(owned, Some(msg.clone()));
+                }
+            }
+            let mut trailing = wire.to_vec();
+            trailing.push(0);
+            proptest::prop_assert_eq!(RbcMessage::decode(&trailing), None);
+            proptest::prop_assert!(RbcView::parse(&trailing).is_none());
+        }
     }
 }

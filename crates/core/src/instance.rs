@@ -34,10 +34,11 @@
 
 use crate::config::Config;
 use crate::keyring::KeyRing;
-use crate::message::{DecodeError, Envelope, Message, Status};
+use crate::message::{legacy_codec_enabled, DecodeError, Envelope, Message, MessageView, Status};
 use crate::state::{Advance, ProcessState};
 use crate::store::MessageStore;
 use crate::validation::{semantic_check, EvidenceView, RejectReason};
+use bytes::arena::EncodeArena;
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -172,7 +173,48 @@ pub struct Turquois {
     /// Last broadcast's encoded form: a re-broadcast of an identical
     /// message reuses the wire bytes instead of re-serializing.
     last_wire: Option<(Message, Bytes)>,
+    /// Pooled encode scratch for outbound wire bytes (flat-arena
+    /// codec, DESIGN.md §13). Host-only: produces the same bytes the
+    /// legacy per-message builder would.
+    arena: EncodeArena,
+    /// Recycled buffer for the authentic justification entries of the
+    /// message currently being processed; cleared per message so the
+    /// steady state performs no allocation.
+    extras_scratch: Vec<(Envelope, OneTimeSignature)>,
     rng: StdRng,
+}
+
+/// The justification entries of an incoming message, independent of
+/// which codec produced them: a materialized slice (legacy) or a
+/// borrowed [`MessageView`] reading offsets out of the receive buffer.
+enum JustEntries<'a> {
+    /// Legacy codec: entries already materialized in a `Vec`.
+    Owned(&'a [(Envelope, OneTimeSignature)]),
+    /// Arena codec: entries read on demand from the wire bytes.
+    View(&'a MessageView<'a>),
+}
+
+impl<'a> JustEntries<'a> {
+    fn len(&self) -> usize {
+        match self {
+            JustEntries::Owned(s) => s.len(),
+            JustEntries::View(v) => v.justification_len(),
+        }
+    }
+
+    fn entry(&self, i: usize) -> (Envelope, OneTimeSignature) {
+        match self {
+            JustEntries::Owned(s) => s[i],
+            JustEntries::View(v) => v.entry(i),
+        }
+    }
+
+    fn sig_bytes(&self, i: usize) -> &'a [u8] {
+        match self {
+            JustEntries::Owned(s) => &s[i].1 .0,
+            JustEntries::View(v) => v.sig_bytes(i),
+        }
+    }
 }
 
 impl std::fmt::Debug for Turquois {
@@ -210,6 +252,8 @@ impl Turquois {
             verify_cache: MemoCache::new(VERIFY_CACHE_CAP),
             cache_stamp: keyring.epoch_stamp(),
             last_wire: None,
+            arena: EncodeArena::new(),
+            extras_scratch: Vec::new(),
             keyring,
             rng: StdRng::seed_from_u64(seed ^ 0xc011_5eed),
         }
@@ -262,10 +306,7 @@ impl Turquois {
     /// them) get `None` and take the ordinary path. With memoization
     /// disabled everything gets `None`, so the `TURQUOIS_NO_MEMO`
     /// baseline re-executes exactly the work it always did.
-    fn prehash_justification(
-        &mut self,
-        justification: &[(Envelope, OneTimeSignature)],
-    ) -> Vec<Option<Digest>> {
+    fn prehash_justification(&mut self, justification: &JustEntries<'_>) -> Vec<Option<Digest>> {
         let mut pre = vec![None; justification.len()];
         if justification.len() < 2 || !turquois_crypto::telemetry::memo_enabled() {
             return pre;
@@ -273,14 +314,15 @@ impl Turquois {
         self.refresh_verify_cache();
         let mut seen = std::collections::BTreeSet::new();
         let mut lanes: Vec<usize> = Vec::new();
-        for (i, (env, sig)) in justification.iter().enumerate() {
+        for i in 0..justification.len() {
+            let (env, sig) = justification.entry(i);
             let key = (env.phase, env.sender, env.value.index() as u8, sig.0);
             if self.verify_cache.contains(&key) || !seen.insert(key) {
                 continue;
             }
             lanes.push(i);
         }
-        let inputs: Vec<&[u8]> = lanes.iter().map(|&i| &justification[i].1 .0[..]).collect();
+        let inputs: Vec<&[u8]> = lanes.iter().map(|&i| justification.sig_bytes(i)).collect();
         let hashes = sha256_many(&inputs);
         for (&i, hash) in lanes.iter().zip(hashes) {
             pre[i] = Some(hash);
@@ -397,7 +439,13 @@ impl Turquois {
                 });
             }
         }
-        let bytes = message.encode();
+        let bytes = if legacy_codec_enabled() {
+            message.encode()
+        } else {
+            // Arena codec: stage into the pooled chunk — same bytes,
+            // one recycled allocation instead of two fresh ones.
+            self.arena.encode_with(|buf| message.encode_into(buf))
+        };
         self.last_wire = Some((message.clone(), bytes.clone()));
         Ok(Outbound { bytes, message })
     }
@@ -411,32 +459,77 @@ impl Turquois {
             phase_advanced: false,
             newly_decided: None,
         };
-        let message = match Message::decode(bytes, &self.cfg) {
-            Ok(m) => m,
-            Err(e) => {
-                receipt.outcome = MessageOutcome::DecodeFailed(e);
+        if legacy_codec_enabled() {
+            // Legacy codec: materialize the justification Vec, exactly
+            // as the pre-arena receive path did.
+            let message = match Message::decode(bytes, &self.cfg) {
+                Ok(m) => m,
+                Err(e) => {
+                    receipt.outcome = MessageOutcome::DecodeFailed(e);
+                    return receipt;
+                }
+            };
+            // Authenticity of the outer message (one logical hash —
+            // charged to simulated CPU whether or not the memo cache
+            // answers it).
+            receipt.sig_verifications += 1;
+            if !self.verify_cached(&message.envelope, &message.signature) {
+                receipt.outcome = MessageOutcome::AuthFailed;
                 return receipt;
             }
-        };
-
-        // Authenticity of the outer message (one logical hash — charged
-        // to simulated CPU whether or not the memo cache answers it).
-        receipt.sig_verifications += 1;
-        if !self.verify_cached(&message.envelope, &message.signature) {
-            receipt.outcome = MessageOutcome::AuthFailed;
-            return receipt;
+            self.process(
+                message.envelope,
+                message.signature,
+                JustEntries::Owned(&message.justification),
+                &mut receipt,
+            );
+        } else {
+            // Arena codec: borrow the justification entries straight
+            // out of the receive buffer — no per-message allocation.
+            let view = match MessageView::parse(bytes, &self.cfg) {
+                Ok(v) => v,
+                Err(e) => {
+                    receipt.outcome = MessageOutcome::DecodeFailed(e);
+                    return receipt;
+                }
+            };
+            receipt.sig_verifications += 1;
+            if !self.verify_cached(&view.envelope(), &view.signature()) {
+                receipt.outcome = MessageOutcome::AuthFailed;
+                return receipt;
+            }
+            self.process(
+                view.envelope(),
+                view.signature(),
+                JustEntries::View(&view),
+                &mut receipt,
+            );
         }
+        receipt
+    }
 
+    /// The codec-independent back half of [`Turquois::on_message`]:
+    /// attachment verification, evidence/valid store insertion, semantic
+    /// validation of the outer message, and state advancement.
+    fn process(
+        &mut self,
+        envelope: Envelope,
+        signature: OneTimeSignature,
+        just: JustEntries<'_>,
+        receipt: &mut Receipt,
+    ) {
         // Authenticity of each attachment; inauthentic ones are dropped,
         // authentic ones become evidence. The memo-missing entries are
         // hashed through the multi-lane kernel in one batch first;
         // every entry still costs one logical verification.
-        let pre = self.prehash_justification(&message.justification);
-        let mut extras: Vec<(Envelope, OneTimeSignature)> = Vec::new();
-        for ((env, sig), sig_hash) in message.justification.iter().zip(&pre) {
+        let pre = self.prehash_justification(&just);
+        let mut extras = std::mem::take(&mut self.extras_scratch);
+        extras.clear();
+        for (i, pre_i) in pre.iter().enumerate() {
+            let (env, sig) = just.entry(i);
             receipt.sig_verifications += 1;
-            if self.verify_cached_with(env, sig, sig_hash.as_ref()) {
-                extras.push((*env, *sig));
+            if self.verify_cached_with(&env, &sig, pre_i.as_ref()) {
+                extras.push((env, sig));
             }
         }
 
@@ -461,21 +554,23 @@ impl Turquois {
         }
 
         // Semantic validation of the outer message.
-        let view = EvidenceView::new(&self.evidence, &extras);
-        if let Err(reason) = semantic_check(&message.envelope, &self.cfg, &view) {
+        let semantic = semantic_check(&envelope, &self.cfg, &EvidenceView::new(&self.evidence, &extras));
+        // Hand the scratch back for the next message (its capacity is
+        // the recycled resource; contents are dead).
+        self.extras_scratch = extras;
+        if let Err(reason) = semantic {
             receipt.outcome = MessageOutcome::SemanticFailed(reason);
-            self.advance(&mut receipt);
-            return receipt;
+            self.advance(receipt);
+            return;
         }
 
-        self.evidence.insert(&message.envelope, message.signature);
-        let fresh = self.valid.insert(&message.envelope, message.signature);
+        self.evidence.insert(&envelope, signature);
+        let fresh = self.valid.insert(&envelope, signature);
         if !fresh {
             receipt.outcome = MessageOutcome::Duplicate;
         }
 
-        self.advance(&mut receipt);
-        receipt
+        self.advance(receipt);
     }
 
     fn advance(&mut self, receipt: &mut Receipt) {
@@ -1017,6 +1112,41 @@ mod tests {
             p0.verify_cached(&env, &sig),
             "epoch stamp change must clear the stale negative"
         );
+    }
+
+    /// The two codecs drive the engine identically: same receipts,
+    /// same wire bytes, same decisions, tick by tick.
+    #[test]
+    fn codec_paths_are_observationally_identical() {
+        use crate::message::set_legacy_codec;
+        let initial = legacy_codec_enabled();
+        let run = |legacy: bool| {
+            set_legacy_codec(legacy);
+            let mut procs = make_group(4, &[true, false], 55);
+            let mut log: Vec<(Vec<u8>, Receipt)> = Vec::new();
+            for _ in 0..40 {
+                let msgs: Vec<Bytes> = procs
+                    .iter_mut()
+                    .map(|p| p.on_tick().expect("keys cover phase").bytes)
+                    .collect();
+                for p in procs.iter_mut() {
+                    for m in &msgs {
+                        let r = p.on_message(m);
+                        log.push((m.to_vec(), r));
+                    }
+                }
+                if procs.iter().all(|p| p.decision().is_some()) {
+                    break;
+                }
+            }
+            let decisions: Vec<Option<bool>> = procs.iter().map(|p| p.decision()).collect();
+            (log, decisions)
+        };
+        let legacy = run(true);
+        let arena = run(false);
+        set_legacy_codec(initial);
+        assert_eq!(legacy.1, arena.1, "decisions diverged across codecs");
+        assert_eq!(legacy.0, arena.0, "wire bytes or receipts diverged across codecs");
     }
 
     proptest::proptest! {

@@ -20,8 +20,44 @@
 use crate::config::Config;
 use bytes::{BufMut, Bytes, BytesMut};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
 use turquois_crypto::otss::{OneTimeSignature, Value};
 use turquois_crypto::sha256::DIGEST_LEN;
+
+/// Environment variable selecting the legacy owned-`Vec` message codec.
+///
+/// Set to any non-empty value to bypass the flat-arena codec (borrowed
+/// [`MessageView`] decode, pooled [`bytes::arena::EncodeArena`]
+/// encode). Results must be byte-identical either way; the variable
+/// exists as a differential guard and an escape hatch, mirroring
+/// `TURQUOIS_LEGACY_QUEUE` / `TURQUOIS_LEGACY_STORE` (DESIGN.md §13).
+pub const LEGACY_CODEC_ENV: &str = "TURQUOIS_LEGACY_CODEC";
+
+static LEGACY_CODEC: AtomicBool = AtomicBool::new(false);
+static LEGACY_CODEC_INIT: Once = Once::new();
+
+/// Returns whether the hot paths use the legacy owned-`Vec` codec.
+///
+/// The first call reads [`LEGACY_CODEC_ENV`]; later calls reuse the
+/// cached value unless [`set_legacy_codec`] overrides it.
+pub fn legacy_codec_enabled() -> bool {
+    LEGACY_CODEC_INIT.call_once(|| {
+        if std::env::var_os(LEGACY_CODEC_ENV).is_some_and(|v| !v.is_empty()) {
+            LEGACY_CODEC.store(true, Ordering::Relaxed);
+        }
+    });
+    LEGACY_CODEC.load(Ordering::Relaxed)
+}
+
+/// Programmatically selects the codec for this crate, overriding the
+/// environment (used by differential tests and `hotpath_bench`).
+pub fn set_legacy_codec(enabled: bool) {
+    // Make sure the env lookup never races in after us and clobbers
+    // the explicit choice.
+    LEGACY_CODEC_INIT.call_once(|| {});
+    LEGACY_CODEC.store(enabled, Ordering::Relaxed);
+}
 
 /// Decision status carried in a message.
 #[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
@@ -88,14 +124,23 @@ impl Message {
     /// Encodes the message for transmission.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_size());
-        encode_envelope(&mut buf, &self.envelope);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Writes the wire encoding into any [`BufMut`] — the arena codec
+    /// stages messages into a pooled chunk with this; [`encode`]
+    /// produces the same bytes through its own builder.
+    ///
+    /// [`encode`]: Message::encode
+    pub fn encode_into<B: BufMut>(&self, buf: &mut B) {
+        encode_envelope(buf, &self.envelope);
         buf.put_slice(&self.signature.0);
         buf.put_u16(self.justification.len() as u16);
         for (env, sig) in &self.justification {
-            encode_envelope(&mut buf, env);
+            encode_envelope(buf, env);
             buf.put_slice(&sig.0);
         }
-        buf.freeze()
     }
 
     /// Decodes a message from wire bytes.
@@ -114,7 +159,12 @@ impl Message {
         if count > 3 * cfg.n() {
             return Err(DecodeError::JustificationTooLarge { count });
         }
-        let mut justification = Vec::with_capacity(count);
+        // The count field is untrusted: cap the speculative allocation
+        // at what the remaining bytes could actually hold, so a huge
+        // count on a tiny payload can't force a large reservation
+        // before the per-entry bounds checks reject it.
+        let fits = bytes.len().saturating_sub(r.at) / (ENVELOPE_LEN + DIGEST_LEN);
+        let mut justification = Vec::with_capacity(count.min(fits));
         for _ in 0..count {
             let env = decode_envelope(&mut r, cfg)?;
             let sig = OneTimeSignature(r.take_digest()?);
@@ -134,11 +184,15 @@ impl Message {
 }
 
 const ENVELOPE_LEN: usize = 2 + 4 + 1 + 1;
+/// Fixed prefix: envelope + signature + justification count.
+const HEADER_LEN: usize = ENVELOPE_LEN + DIGEST_LEN + 2;
+/// One justification entry: envelope + signature.
+const ENTRY_LEN: usize = ENVELOPE_LEN + DIGEST_LEN;
 
 const FLAG_COIN: u8 = 0b01;
 const FLAG_DECIDED: u8 = 0b10;
 
-fn encode_envelope(buf: &mut BytesMut, env: &Envelope) {
+fn encode_envelope<B: BufMut>(buf: &mut B, env: &Envelope) {
     buf.put_u16(env.sender as u16);
     buf.put_u32(env.phase);
     buf.put_u8(env.value.index() as u8);
@@ -220,6 +274,123 @@ fn decode_envelope(r: &mut Reader<'_>, cfg: &Config) -> Result<Envelope, DecodeE
             Status::Undecided
         },
     })
+}
+
+/// A borrowed, validated view of a wire message.
+///
+/// Parses the same format as [`Message::decode`] with bit-identical
+/// error behavior, but leaves the justification entries in place as
+/// offset ranges into the received buffer instead of materializing a
+/// `Vec` — the steady-state receive path allocates nothing. Entries
+/// are fully validated during [`MessageView::parse`]; the accessors
+/// re-read them from the buffer on demand ([`Envelope`] and
+/// [`OneTimeSignature`] are plain `Copy` data, so an access is a
+/// 40-byte stack copy, not a heap allocation).
+///
+/// Use [`MessageView::to_message`] at the few points where a message
+/// must outlive its delivery.
+#[derive(Clone, Copy, Debug)]
+pub struct MessageView<'a> {
+    envelope: Envelope,
+    signature: OneTimeSignature,
+    bytes: &'a [u8],
+    count: usize,
+    cfg: Config,
+}
+
+impl<'a> MessageView<'a> {
+    /// Parses and validates a wire message without materializing its
+    /// justification.
+    ///
+    /// # Errors
+    ///
+    /// Returns exactly the [`DecodeError`] that [`Message::decode`]
+    /// would return on the same input (the differential tests assert
+    /// this at every truncation length).
+    pub fn parse(bytes: &'a [u8], cfg: &Config) -> Result<MessageView<'a>, DecodeError> {
+        let mut r = Reader { bytes, at: 0 };
+        let envelope = decode_envelope(&mut r, cfg)?;
+        let signature = OneTimeSignature(r.take_digest()?);
+        let count = r.take_u16()? as usize;
+        if count > 3 * cfg.n() {
+            return Err(DecodeError::JustificationTooLarge { count });
+        }
+        for _ in 0..count {
+            decode_envelope(&mut r, cfg)?;
+            r.take_digest()?;
+        }
+        if r.at != bytes.len() {
+            return Err(DecodeError::TrailingBytes {
+                extra: bytes.len() - r.at,
+            });
+        }
+        if count > 0 {
+            // The legacy codec would have materialized a justification
+            // Vec here (`Vec::with_capacity(0)` on bare messages does
+            // not allocate, so only a non-empty justification counts).
+            bytes::telemetry::count_allocs_saved(1);
+        }
+        Ok(MessageView {
+            envelope,
+            signature,
+            bytes,
+            count,
+            cfg: *cfg,
+        })
+    }
+
+    /// The signed envelope.
+    pub fn envelope(&self) -> Envelope {
+        self.envelope
+    }
+
+    /// The one-time signature over the envelope.
+    pub fn signature(&self) -> OneTimeSignature {
+        self.signature
+    }
+
+    /// Number of attached justification entries.
+    pub fn justification_len(&self) -> usize {
+        self.count
+    }
+
+    /// Reads justification entry `i` out of the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn entry(&self, i: usize) -> (Envelope, OneTimeSignature) {
+        assert!(i < self.count, "justification entry out of range");
+        let mut r = Reader {
+            bytes: self.bytes,
+            at: HEADER_LEN + i * ENTRY_LEN,
+        };
+        let env = decode_envelope(&mut r, &self.cfg).expect("validated in parse");
+        let sig = OneTimeSignature(r.take_digest().expect("validated in parse"));
+        (env, sig)
+    }
+
+    /// The raw signature bytes of justification entry `i`, borrowed
+    /// from the buffer (prehash batching feeds these to the multi-lane
+    /// SHA kernel without copying).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sig_bytes(&self, i: usize) -> &'a [u8] {
+        assert!(i < self.count, "justification entry out of range");
+        &self.bytes[HEADER_LEN + i * ENTRY_LEN + ENVELOPE_LEN..][..DIGEST_LEN]
+    }
+
+    /// Materializes an owned [`Message`] (used only where a message
+    /// outlives its delivery, e.g. tests and fixtures).
+    pub fn to_message(&self) -> Message {
+        Message {
+            envelope: self.envelope,
+            signature: self.signature,
+            justification: (0..self.count).map(|i| self.entry(i)).collect(),
+        }
+    }
 }
 
 /// Errors decoding a wire message.
@@ -424,5 +595,196 @@ mod tests {
     fn status_display() {
         assert_eq!(Status::Decided.to_string(), "decided");
         assert_eq!(Status::Undecided.to_string(), "undecided");
+    }
+
+    #[test]
+    fn codec_gate_round_trips() {
+        let initial = legacy_codec_enabled();
+        set_legacy_codec(true);
+        assert!(legacy_codec_enabled());
+        set_legacy_codec(false);
+        assert!(!legacy_codec_enabled());
+        set_legacy_codec(initial);
+    }
+
+    /// Both codecs agree on every accessor for a valid message.
+    #[test]
+    fn view_matches_decode_on_valid_messages() {
+        let m = Message {
+            envelope: Envelope {
+                sender: 6,
+                phase: 123,
+                value: Value::One,
+                coin_flip: true,
+                status: Status::Decided,
+            },
+            signature: sig(9),
+            justification: vec![
+                (env(0, 122, Value::Zero), sig(1)),
+                (env(1, 122, Value::One), sig(2)),
+                (env(5, 121, Value::Bot), sig(3)),
+            ],
+        };
+        let bytes = m.encode();
+        let view = MessageView::parse(&bytes, &cfg()).expect("valid");
+        assert_eq!(view.envelope(), m.envelope);
+        assert_eq!(view.signature(), m.signature);
+        assert_eq!(view.justification_len(), m.justification.len());
+        for (i, entry) in m.justification.iter().enumerate() {
+            assert_eq!(view.entry(i), *entry);
+            assert_eq!(view.sig_bytes(i), &entry.1 .0[..]);
+        }
+        assert_eq!(view.to_message(), m);
+    }
+
+    /// Error parity with the owned decoder at every truncation length
+    /// and on every mutated-field rejection.
+    #[test]
+    fn view_error_parity_with_decode() {
+        let m = Message {
+            envelope: env(1, 2, Value::Zero),
+            signature: sig(3),
+            justification: vec![(env(2, 1, Value::One), sig(4))],
+        };
+        let bytes = m.encode();
+        let c = cfg();
+        for cut in 0..=bytes.len() {
+            let owned = Message::decode(&bytes[..cut], &c).err();
+            let view = MessageView::parse(&bytes[..cut], &c).err();
+            assert_eq!(owned, view, "engines disagree at cut {cut}");
+        }
+        // Trailing bytes.
+        let mut trailing = bytes.to_vec();
+        trailing.push(0);
+        assert_eq!(
+            Message::decode(&trailing, &c).err(),
+            MessageView::parse(&trailing, &c).err()
+        );
+        // Oversized count, bad sender, zero phase, bad value, bad flags.
+        for (at, val) in [(40usize, 255u8), (1, 200), (5, 0), (6, 9), (7, 0xf0)] {
+            let mut mutated = bytes.to_vec();
+            mutated[at] = val;
+            assert_eq!(
+                Message::decode(&mutated, &c).err(),
+                MessageView::parse(&mutated, &c).err(),
+                "engines disagree with byte {at} set to {val}"
+            );
+        }
+    }
+
+    /// Satellite fix: a huge claimed count on a tiny payload must fail
+    /// with `Truncated` (not attempt a large speculative reservation)
+    /// — identically in both engines.
+    #[test]
+    fn huge_count_with_tiny_payload_is_truncated_in_both_engines() {
+        // Large n so the 3n justification bound does not trip first.
+        let big = Config::evaluation(30000).expect("valid");
+        let m = Message::bare(env(0, 1, Value::Zero), sig(0));
+        let mut bytes = m.encode().to_vec();
+        let count_at = ENVELOPE_LEN + DIGEST_LEN;
+        bytes[count_at..count_at + 2].copy_from_slice(&u16::MAX.to_be_bytes());
+        let owned = Message::decode(&bytes, &big);
+        let view = MessageView::parse(&bytes, &big).map(|v| v.to_message());
+        assert!(
+            matches!(owned, Err(DecodeError::Truncated { .. })),
+            "got {owned:?}"
+        );
+        assert_eq!(owned.err(), view.err());
+    }
+
+    /// Acceptance criterion: steady-state view parsing of a
+    /// justification-free message performs no allocations — asserted
+    /// via the telemetry counters (a justified message credits exactly
+    /// the one skipped `Vec`).
+    #[test]
+    fn view_parse_allocation_telemetry() {
+        let c = cfg();
+        let bare = Message::bare(env(3, 5, Value::One), sig(7)).encode();
+        let justified = Message {
+            envelope: env(3, 5, Value::One),
+            signature: sig(7),
+            justification: vec![(env(0, 4, Value::One), sig(1))],
+        }
+        .encode();
+        let (copied0, saved0) = (bytes::telemetry::bytes_copied(), bytes::telemetry::allocs_saved());
+        for _ in 0..16 {
+            let v = MessageView::parse(&bare, &c).expect("valid");
+            assert_eq!(v.justification_len(), 0);
+        }
+        assert_eq!(
+            bytes::telemetry::bytes_copied(),
+            copied0,
+            "bare view parse must not copy"
+        );
+        assert_eq!(
+            bytes::telemetry::allocs_saved(),
+            saved0,
+            "bare decode was already allocation-free; nothing to save"
+        );
+        let v = MessageView::parse(&justified, &c).expect("valid");
+        assert_eq!(v.justification_len(), 1);
+        assert_eq!(
+            bytes::telemetry::allocs_saved(),
+            saved0 + 1,
+            "justified view parse saves the justification Vec"
+        );
+        assert_eq!(bytes::telemetry::bytes_copied(), copied0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(96))]
+
+        /// View vs. legacy codec on arbitrary (mostly invalid) byte
+        /// strings: identical accept/reject verdicts, identical
+        /// errors, identical materialized messages.
+        #[test]
+        fn view_and_decode_agree_on_arbitrary_bytes(
+            raw in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..160),
+        ) {
+            let c = cfg();
+            let owned = Message::decode(&raw, &c);
+            let view = MessageView::parse(&raw, &c).map(|v| v.to_message());
+            proptest::prop_assert_eq!(owned, view);
+        }
+
+        /// Round-trip parity on arbitrary *valid* messages, truncated
+        /// at every prefix length.
+        #[test]
+        fn view_and_decode_agree_on_valid_messages_and_all_prefixes(
+            sender in 0usize..7,
+            phase in 1u32..1000,
+            vsel in 0u8..3,
+            coin in proptest::arbitrary::any::<bool>(),
+            decided in proptest::arbitrary::any::<bool>(),
+            just in proptest::collection::vec((0usize..7, 1u32..1000, 0u8..3), 0..6),
+        ) {
+            let c = cfg();
+            let value = [Value::Zero, Value::One, Value::Bot][vsel as usize];
+            let m = Message {
+                envelope: Envelope {
+                    sender,
+                    phase,
+                    value,
+                    coin_flip: coin,
+                    status: if decided { Status::Decided } else { Status::Undecided },
+                },
+                signature: sig(9),
+                justification: just
+                    .into_iter()
+                    .map(|(s, p, v)| {
+                        (env(s, p, [Value::Zero, Value::One, Value::Bot][v as usize]), sig(v))
+                    })
+                    .collect(),
+            };
+            let bytes = m.encode();
+            let view = MessageView::parse(&bytes, &c).expect("valid message");
+            proptest::prop_assert_eq!(view.to_message(), m);
+            for cut in 0..bytes.len() {
+                proptest::prop_assert_eq!(
+                    Message::decode(&bytes[..cut], &c).err(),
+                    MessageView::parse(&bytes[..cut], &c).err()
+                );
+            }
+        }
     }
 }

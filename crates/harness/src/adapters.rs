@@ -13,12 +13,14 @@
 //!   charged to the node's virtual CPU through the
 //!   [`CostModel`].
 
+use bytes::arena::EncodeArena;
 use bytes::{BufMut, Bytes, BytesMut};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 use turquois_baselines::abba::{Abba, AbbaOutput};
 use turquois_baselines::bracha::{Bracha, BrachaOutput};
+use turquois_baselines::gate::legacy_codec_enabled;
 use turquois_core::instance::Turquois;
 use turquois_crypto::cost::CostModel;
 use turquois_crypto::hmac::HmacKey;
@@ -440,6 +442,10 @@ pub struct BrachaApp {
     /// The simulation-wide link-tag pool; simulated cost is still
     /// charged per logical HMAC, only host hashing is shared.
     link_tags: SharedLinkTags,
+    /// Encode scratch for the per-destination HMAC wraps: the n wrapped
+    /// frames of one broadcast share a single arena chunk (DESIGN.md
+    /// §13) instead of n `BytesMut` builders.
+    arena: EncodeArena,
 }
 
 impl BrachaApp {
@@ -464,6 +470,7 @@ impl BrachaApp {
             mutate: None,
             decide_enabled: true,
             link_tags,
+            arena: EncodeArena::new(),
         }
     }
 
@@ -566,12 +573,36 @@ impl BrachaApp {
             // through one lane batch before the per-link loop.
             let pairs: Vec<(usize, Bytes)> = (0..n).map(|dst| (dst, bytes.clone())).collect();
             let pre = self.batch_link_tags(&pairs);
-            for dst in 0..n {
-                // One HMAC per destination link (as IPSec AH would).
-                ctx.charge_cpu(self.cost.hmac(bytes.len()));
-                let tag = self.link_tag_with(dst, &bytes, &pre);
-                let wrapped = mac_wrap(&tag, &bytes);
-                self.transport.send(ctx, dst, wrapped);
+            if legacy_codec_enabled() {
+                for dst in 0..n {
+                    // One HMAC per destination link (as IPSec AH would).
+                    ctx.charge_cpu(self.cost.hmac(bytes.len()));
+                    let tag = self.link_tag_with(dst, &bytes, &pre);
+                    let wrapped = mac_wrap(&tag, &bytes);
+                    self.transport.send(ctx, dst, wrapped);
+                }
+            } else {
+                // Stage all n wrapped frames of this broadcast into one
+                // arena chunk. Every frame is `ICV_LEN + |bytes|` long,
+                // so the per-destination slices need no side table; CPU
+                // charges accumulate on the context and take effect
+                // after the callback either way, so batching the wraps
+                // ahead of the sends cannot move simulated time.
+                let base = self.arena.len();
+                let w = ICV_LEN + bytes.len();
+                for dst in 0..n {
+                    ctx.charge_cpu(self.cost.hmac(bytes.len()));
+                    let tag = self.link_tag_with(dst, &bytes, &pre);
+                    self.arena.mark();
+                    let buf = self.arena.buf();
+                    buf.put_slice(&tag.as_bytes()[..ICV_LEN]);
+                    buf.put_slice(&bytes);
+                }
+                let chunk = self.arena.seal();
+                for dst in 0..n {
+                    let start = base + dst * w;
+                    self.transport.send(ctx, dst, chunk.slice(start..start + w));
+                }
             }
         }
     }
@@ -644,6 +675,18 @@ pub fn pad_to(inner: &[u8], total: usize) -> Bytes {
     buf.freeze()
 }
 
+/// Arena-path twin of [`pad_to`]: writes the same `len(4) ‖ msg ‖
+/// zeros` framing into an open arena chunk (which may already hold
+/// earlier staged bytes, hence the relative cursor). Byte-for-byte
+/// identical output to [`pad_to`].
+fn pad_into(buf: &mut Vec<u8>, inner: &[u8], total: usize) {
+    let start = buf.len();
+    let body = total.max(inner.len() + 4);
+    buf.put_u32(inner.len() as u32);
+    buf.put_slice(inner);
+    buf.resize(start + body, 0);
+}
+
 /// Strips [`pad_to`] framing.
 pub fn unpad(padded: &[u8]) -> Option<&[u8]> {
     if padded.len() < 4 {
@@ -661,6 +704,9 @@ pub struct AbbaApp {
     n: usize,
     cost: CostModel,
     probe: SharedProbe,
+    /// Encode scratch for the RSA-equivalent padding frames
+    /// (DESIGN.md §13).
+    arena: EncodeArena,
 }
 
 impl AbbaApp {
@@ -673,6 +719,7 @@ impl AbbaApp {
             n,
             cost,
             probe,
+            arena: EncodeArena::new(),
         }
     }
 
@@ -701,7 +748,11 @@ impl AbbaApp {
             let rsa_size = turquois_baselines::abba::AbbaMessage::decode(&bytes)
                 .map(|m| m.rsa_equivalent_size())
                 .unwrap_or(bytes.len());
-            let padded = pad_to(&bytes, rsa_size + 4);
+            let padded = if legacy_codec_enabled() {
+                pad_to(&bytes, rsa_size + 4)
+            } else {
+                self.arena.encode_with(|buf| pad_into(buf, &bytes, rsa_size + 4))
+            };
             for dst in 0..self.n {
                 self.transport.send(ctx, dst, padded.clone());
             }
@@ -817,6 +868,53 @@ mod tests {
         assert_eq!(unpad(&tight), Some(&b"hello"[..]));
         assert_eq!(unpad(b"xy"), None);
         assert_eq!(unpad(&[0, 0, 0, 9, 1]), None, "declared length overruns");
+    }
+
+    /// The arena padding twin is byte-identical to [`pad_to`], even
+    /// when staged mid-chunk after earlier bytes.
+    #[test]
+    fn pad_into_matches_pad_to() {
+        let mut arena = EncodeArena::new();
+        for (inner, total) in [(&b"hello"[..], 64usize), (b"hello", 3), (b"", 10)] {
+            let legacy = pad_to(inner, total);
+            let staged = arena.encode_with(|buf| pad_into(buf, inner, total));
+            assert_eq!(&legacy[..], &staged[..]);
+        }
+        arena.mark();
+        arena.buf().put_slice(b"prefix");
+        let start = arena.len();
+        arena.mark();
+        pad_into(arena.buf(), b"hello", 32);
+        let end = arena.len();
+        let chunk = arena.seal();
+        assert_eq!(&chunk.slice(start..end)[..], &pad_to(b"hello", 32)[..]);
+    }
+
+    /// One Bracha broadcast's n HMAC wraps staged into a single arena
+    /// chunk produce the same frames as per-destination [`mac_wrap`].
+    #[test]
+    fn arena_wrap_batch_matches_mac_wrap() {
+        let keys = PairwiseKeys::with_eager(0, 4, 9, true);
+        let inner = b"broadcast body";
+        let mut arena = EncodeArena::new();
+        let base = arena.len();
+        let w = ICV_LEN + inner.len();
+        for dst in 0..4 {
+            let tag = keys.mac(dst, inner);
+            arena.mark();
+            let buf = arena.buf();
+            buf.put_slice(&tag.as_bytes()[..ICV_LEN]);
+            buf.put_slice(inner);
+        }
+        let chunk = arena.seal();
+        for dst in 0..4 {
+            let start = base + dst * w;
+            let staged = chunk.slice(start..start + w);
+            let legacy = mac_wrap(&keys.mac(dst, inner), inner);
+            assert_eq!(&staged[..], &legacy[..]);
+            let key = turquois_crypto::hmac::pairwise_key(9, 0, dst);
+            assert_eq!(mac_unwrap(&key, &staged), Some(&inner[..]));
+        }
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Host-side hot-path benchmark: runs the same shrunk Table-1 grid
-//! three times in one process — verification memoization
-//! force-disabled, memoization enabled (scalar SHA-256), then
-//! memoization plus the multi-lane SHA-256 kernel — asserts the
-//! rendered tables are byte-identical across all passes (no host
-//! optimisation may change a simulated result), and writes the
-//! wall-clock plus SHA-256/cache/lane telemetry to
-//! `results/BENCH_hotpath.json` (override: `TURQUOIS_HOTPATH_JSON`).
+//! four times in one process — verification memoization
+//! force-disabled, memoization enabled (scalar SHA-256), memoization
+//! plus the multi-lane SHA-256 kernel, then the multilane
+//! configuration with the legacy owned-`Vec` codec instead of the
+//! flat-arena codec (DESIGN.md §13) — asserts the rendered tables are
+//! byte-identical across all passes (no host optimisation may change a
+//! simulated result), and writes the wall-clock plus
+//! SHA-256/cache/lane/arena telemetry to `results/BENCH_hotpath.json`
+//! (override: `TURQUOIS_HOTPATH_JSON`).
 //!
 //! Usage: `hotpath_bench [reps]` (default 3). `TURQUOIS_REPS`,
 //! `TURQUOIS_THREADS`, and `TURQUOIS_TIME_LIMIT` are respected;
@@ -57,6 +59,15 @@ struct Pass {
     hotpath: HotpathTotals,
 }
 
+/// Flips every crate-local `TURQUOIS_LEGACY_CODEC` gate at once: the
+/// three gated crates read the same environment variable independently,
+/// so a programmatic override must hit all of them.
+fn set_legacy_codec_everywhere(enabled: bool) {
+    turquois_core::message::set_legacy_codec(enabled);
+    turquois_baselines::gate::set_legacy_codec(enabled);
+    wireless_net::reliable::set_legacy_codec(enabled);
+}
+
 fn totals(rows: &[TableRow]) -> (HotpathTotals, u64, usize) {
     let mut h = HotpathTotals::default();
     let mut drops = 0u64;
@@ -87,14 +98,19 @@ fn main() {
     let mut unhealthy = false;
     // The first two passes force the scalar engine so their wall-clock
     // numbers stay comparable with pre-multilane history; the third
-    // isolates what the lane kernel buys on top of memoization.
-    for (label, memo, scalar) in [
-        ("memo-disabled", false, true),
-        ("memo-enabled", true, true),
-        ("multilane", true, false),
+    // isolates what the lane kernel buys on top of memoization; the
+    // fourth reruns the multilane configuration on the legacy
+    // owned-`Vec` codec, so multilane-vs-legacy-codec isolates what the
+    // flat arena buys.
+    for (label, memo, scalar, legacy_codec) in [
+        ("memo-disabled", false, true, false),
+        ("memo-enabled", true, true, false),
+        ("multilane", true, false, false),
+        ("legacy-codec", true, false, true),
     ] {
         set_memo_enabled(memo);
         set_scalar_sha(scalar);
+        set_legacy_codec_everywhere(legacy_codec);
         let start = Instant::now();
         let (rows, health, _report) = paper_table_supervised_with(
             FaultLoad::FailureFree,
@@ -123,14 +139,16 @@ fn main() {
         eprintln!(
             "[hotpath] {label}: wall={wall_s:.3}s sha-blocks={} verifies={} \
              cache-hits={} cache-misses={} bytes-copied={} bytes-saved={} \
-             lanes-utilization={:.1}%",
+             lanes-utilization={:.1}% allocs-saved={} arena-bytes={}",
             hotpath.sha_blocks,
             hotpath.verify_calls,
             hotpath.cache_hits,
             hotpath.cache_misses,
             hotpath.bytes_copied,
             hotpath.bytes_saved,
-            100.0 * hotpath.lanes_utilization()
+            100.0 * hotpath.lanes_utilization(),
+            hotpath.allocs_saved,
+            hotpath.arena_bytes
         );
         passes.push(Pass {
             label,
@@ -144,9 +162,14 @@ fn main() {
     // Leave the process-wide switches the way the environment asked for.
     set_memo_enabled(true);
     set_scalar_sha(std::env::var_os(SCALAR_SHA_ENV).is_some_and(|v| !v.is_empty()));
+    set_legacy_codec_everywhere(
+        std::env::var_os(turquois_baselines::gate::LEGACY_CODEC_ENV)
+            .is_some_and(|v| !v.is_empty()),
+    );
 
-    let (disabled, enabled, multilane) = (&passes[0], &passes[1], &passes[2]);
-    for pass in [enabled, multilane] {
+    let (disabled, enabled, multilane, legacy) =
+        (&passes[0], &passes[1], &passes[2], &passes[3]);
+    for pass in [enabled, multilane, legacy] {
         assert_eq!(
             disabled.rendered, pass.rendered,
             "pass '{}' changed the rendered table — host optimisations must be \
@@ -178,23 +201,44 @@ fn main() {
         enabled.hotpath.sha_blocks, multilane.hotpath.sha_blocks,
         "multilane pass compressed a different number of real blocks than scalar"
     );
+    // The codec moves bytes between buffers, never through the crypto
+    // hot path: the legacy-codec rerun must do the exact same logical
+    // verification work as the arena default.
+    assert_eq!(
+        (multilane.verify_calls(), multilane.hotpath.cache_hits, multilane.hotpath.sha_blocks),
+        (legacy.verify_calls(), legacy.hotpath.cache_hits, legacy.hotpath.sha_blocks),
+        "crypto bookkeeping diverged between codecs"
+    );
+    assert!(
+        multilane.hotpath.allocs_saved > 0 && multilane.hotpath.arena_bytes > 0,
+        "arena codec pass recorded no elided allocations — the gate is miswired"
+    );
+    assert_eq!(
+        legacy.hotpath.allocs_saved, 0,
+        "legacy-codec pass credited arena savings — the gate is miswired"
+    );
 
     let reduction =
         disabled.hotpath.sha_blocks as f64 / enabled.hotpath.sha_blocks.max(1) as f64;
     let multilane_speedup = enabled.wall_s / multilane.wall_s.max(1e-9);
+    let codec_speedup = legacy.wall_s / multilane.wall_s.max(1e-9);
     println!("{}", multilane.rendered);
     println!(
         "hotpath: sha-block reduction {reduction:.2}x \
          (memo-disabled {} -> memo-enabled {}), hit-rate {:.1}%, \
          wall-clock {:.3}s -> {:.3}s -> {:.3}s (multilane {multilane_speedup:.2}x, \
-         lanes-utilization {:.1}%)",
+         lanes-utilization {:.1}%), arena codec {codec_speedup:.2}x vs legacy \
+         ({:.3}s, allocs-saved {}, arena-bytes {})",
         disabled.hotpath.sha_blocks,
         enabled.hotpath.sha_blocks,
         100.0 * enabled.hotpath.hit_rate(),
         disabled.wall_s,
         enabled.wall_s,
         multilane.wall_s,
-        100.0 * multilane.hotpath.lanes_utilization()
+        100.0 * multilane.hotpath.lanes_utilization(),
+        legacy.wall_s,
+        multilane.hotpath.allocs_saved,
+        multilane.hotpath.arena_bytes
     );
     if reduction < 2.0 {
         eprintln!(
@@ -208,8 +252,16 @@ fn main() {
              host noise, or the grid is too small for lane batches to form"
         );
     }
+    if codec_speedup < 1.0 {
+        eprintln!(
+            "warning: arena codec ran slower than the legacy codec ({codec_speedup:.2}x) — \
+             host noise, or the grid is too small for the arena pools to warm up"
+        );
+    }
 
-    if let Some(path) = write_hotpath_json(&sizes, reps, &passes, reduction, multilane_speedup) {
+    if let Some(path) =
+        write_hotpath_json(&sizes, reps, &passes, reduction, multilane_speedup, codec_speedup)
+    {
         eprintln!("[hotpath] wrote {}", path.display());
     }
     if unhealthy {
@@ -232,6 +284,7 @@ fn write_hotpath_json(
     passes: &[Pass],
     reduction: f64,
     multilane_speedup: f64,
+    codec_speedup: f64,
 ) -> Option<PathBuf> {
     let path = std::env::var_os("TURQUOIS_HOTPATH_JSON")
         .map(PathBuf::from)
@@ -258,7 +311,8 @@ fn write_hotpath_json(
             "    {{\"label\": \"{}\", \"wall_s\": {:.3}, \"sha_blocks\": {}, \
              \"verify_calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"hit_rate\": {:.4}, \"bytes_copied\": {}, \"bytes_saved\": {}, \
-             \"lane_blocks\": {}, \"lane_slots\": {}, \"lanes_utilization\": {:.4}}}{}\n",
+             \"lane_blocks\": {}, \"lane_slots\": {}, \"lanes_utilization\": {:.4}, \
+             \"allocs_saved\": {}, \"arena_bytes\": {}}}{}\n",
             p.label,
             p.wall_s,
             p.hotpath.sha_blocks,
@@ -271,12 +325,15 @@ fn write_hotpath_json(
             p.hotpath.lane_blocks,
             p.hotpath.lane_slots,
             p.hotpath.lanes_utilization(),
+            p.hotpath.allocs_saved,
+            p.hotpath.arena_bytes,
             if i + 1 < passes.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"sha_block_reduction\": {reduction:.2},\n"));
-    json.push_str(&format!("  \"multilane_speedup\": {multilane_speedup:.2}\n"));
+    json.push_str(&format!("  \"multilane_speedup\": {multilane_speedup:.2},\n"));
+    json.push_str(&format!("  \"codec_speedup\": {codec_speedup:.2}\n"));
     json.push_str("}\n");
     match std::fs::write(&path, json) {
         Ok(()) => Some(path),

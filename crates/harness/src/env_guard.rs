@@ -18,6 +18,7 @@ pub const KNOWN_ENV_VARS: &[&str] = &[
     "TURQUOIS_FM_FORCE_STALL",
     "TURQUOIS_HOTPATH_JSON",
     "TURQUOIS_HOTPATH_STATS",
+    "TURQUOIS_LEGACY_CODEC",
     "TURQUOIS_LEGACY_MEDIUM",
     "TURQUOIS_LEGACY_QUEUE",
     "TURQUOIS_LEGACY_STORE",
@@ -67,6 +68,8 @@ mod tests {
         std::env::set_var("TURQUOIS_PARTITION_JSON", "/tmp/bp.json");
         std::env::set_var("TURQUOIS_SCALAR_SHA", "1");
         std::env::set_var("TURQUOIS_SCALER_SHA", "1");
+        std::env::set_var("TURQUOIS_LEGACY_CODEC", "1");
+        std::env::set_var("TURQUOIS_LEGACY_CODEX", "1");
         let unknown = warn_unknown_env_vars();
         std::env::remove_var("TURQUOIS_REPETITIONS");
         std::env::remove_var("TURQUOIS_LEGACY_MEDUIM");
@@ -75,6 +78,8 @@ mod tests {
         std::env::remove_var("TURQUOIS_PARTITION_JSON");
         std::env::remove_var("TURQUOIS_SCALAR_SHA");
         std::env::remove_var("TURQUOIS_SCALER_SHA");
+        std::env::remove_var("TURQUOIS_LEGACY_CODEC");
+        std::env::remove_var("TURQUOIS_LEGACY_CODEX");
         assert!(unknown.contains(&"TURQUOIS_REPETITIONS".to_string()));
         assert!(unknown.contains(&"TURQUOIS_LEGACY_MEDUIM".to_string()));
         assert!(unknown.contains(&"TURQUOIS_SCALER_SHA".to_string()));
@@ -82,6 +87,8 @@ mod tests {
         assert!(!unknown.contains(&"TURQUOIS_LEGACY_MEDIUM".to_string()));
         assert!(!unknown.contains(&"TURQUOIS_PARTITION_JSON".to_string()));
         assert!(!unknown.contains(&"TURQUOIS_SCALAR_SHA".to_string()));
+        assert!(unknown.contains(&"TURQUOIS_LEGACY_CODEX".to_string()));
+        assert!(!unknown.contains(&"TURQUOIS_LEGACY_CODEC".to_string()));
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub struct HotpathTotals {
     /// Lane slots those multi-lane calls provided (`width × rounds`);
     /// `lane_blocks / lane_slots` is the kernel's occupancy.
     pub lane_slots: u64,
+    /// Heap allocations the flat-arena codec elided versus the legacy
+    /// per-message builder path (DESIGN.md §13): arena seals, shared
+    /// duplicate payloads, and borrowed justification views.
+    pub allocs_saved: u64,
+    /// Bytes sealed through [`bytes::arena::EncodeArena`] chunks.
+    pub arena_bytes: u64,
 }
 
 impl HotpathTotals {
@@ -61,6 +67,8 @@ impl HotpathTotals {
         self.bytes_saved += other.bytes_saved;
         self.lane_blocks += other.lane_blocks;
         self.lane_slots += other.lane_slots;
+        self.allocs_saved += other.allocs_saved;
+        self.arena_bytes += other.arena_bytes;
     }
 
     /// Cache hit rate in `[0, 1]` (0 when no lookups happened).
@@ -92,6 +100,8 @@ fn with_hotpath<T>(f: impl FnOnce() -> T) -> (T, HotpathTotals) {
     let crypto_before = HotpathSnapshot::now();
     let copied_before = bytes::telemetry::bytes_copied();
     let saved_before = bytes::telemetry::bytes_saved();
+    let allocs_before = bytes::telemetry::allocs_saved();
+    let arena_before = bytes::telemetry::arena_bytes();
     let out = f();
     let d = HotpathSnapshot::now().delta_since(&crypto_before);
     let hotpath = HotpathTotals {
@@ -103,6 +113,8 @@ fn with_hotpath<T>(f: impl FnOnce() -> T) -> (T, HotpathTotals) {
         bytes_saved: bytes::telemetry::bytes_saved().saturating_sub(saved_before),
         lane_blocks: d.lane_blocks,
         lane_slots: d.lane_slots,
+        allocs_saved: bytes::telemetry::allocs_saved().saturating_sub(allocs_before),
+        arena_bytes: bytes::telemetry::arena_bytes().saturating_sub(arena_before),
     };
     (out, hotpath)
 }
@@ -567,7 +579,8 @@ pub fn table_stats_line(rows: &[TableRow]) -> String {
     if hotpath_stats_enabled() {
         line.push_str(&format!(
             " | hotpath: sha-blocks={} verifies={} cache-hits={} cache-misses={} \
-             hit-rate={:.1}% bytes-copied={} bytes-saved={} lanes-utilization={:.1}%",
+             hit-rate={:.1}% bytes-copied={} bytes-saved={} lanes-utilization={:.1}% \
+             allocs-saved={} arena-bytes={}",
             hotpath.sha_blocks,
             hotpath.verify_calls,
             hotpath.cache_hits,
@@ -575,7 +588,9 @@ pub fn table_stats_line(rows: &[TableRow]) -> String {
             100.0 * hotpath.hit_rate(),
             hotpath.bytes_copied,
             hotpath.bytes_saved,
-            100.0 * hotpath.lanes_utilization()
+            100.0 * hotpath.lanes_utilization(),
+            hotpath.allocs_saved,
+            hotpath.arena_bytes
         ));
     }
     line

@@ -1,0 +1,59 @@
+//! CI differential smoke: the flat-arena message codec must be
+//! invisible to every simulated result. Runs the `table1` binary twice
+//! on a shrunk grid — once with the legacy owned-`Vec` codec forced
+//! via `TURQUOIS_LEGACY_CODEC=1`, once with the arena codec enabled
+//! (the default) — and asserts the stdout bytes are identical. Any
+//! divergence means a borrowed view parsed differently, an arena seal
+//! changed wire bytes, or a staged encode moved simulated time
+//! (DESIGN.md §13).
+
+use std::process::Command;
+
+/// Runs the `table1` binary on a shrunk grid with the given codec and
+/// returns its stdout.
+fn run_table1(legacy_codec: bool) -> Vec<u8> {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_table1"));
+    cmd.env("TURQUOIS_SIZES", "4,7")
+        .env("TURQUOIS_REPS", "2")
+        .env("TURQUOIS_TIME_LIMIT", "120")
+        // Keep the child's host-timing JSON out of the source tree.
+        .env(
+            "TURQUOIS_BENCH_JSON",
+            std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
+                .join("BENCH_codec_differential.json"),
+        )
+        // The hotpath stats line aggregates host-side counters
+        // (allocs-saved and arena-bytes in particular) that
+        // legitimately differ between codecs; it must stay off (as it
+        // is by default) for byte comparison.
+        .env_remove("TURQUOIS_HOTPATH_STATS");
+    if legacy_codec {
+        cmd.env("TURQUOIS_LEGACY_CODEC", "1");
+    } else {
+        cmd.env_remove("TURQUOIS_LEGACY_CODEC");
+    }
+    let out = cmd.output().expect("table1 runs");
+    assert!(
+        out.status.success(),
+        "table1 (legacy_codec={legacy_codec}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn table1_output_is_byte_identical_with_legacy_and_arena_codecs() {
+    let legacy = run_table1(true);
+    let arena = run_table1(false);
+    assert!(
+        !arena.is_empty(),
+        "table1 produced no output — smoke setup is broken"
+    );
+    assert_eq!(
+        legacy,
+        arena,
+        "the codec changed table1's stdout:\n--- legacy ---\n{}\n--- arena ---\n{}",
+        String::from_utf8_lossy(&legacy),
+        String::from_utf8_lossy(&arena)
+    );
+}

@@ -1,0 +1,307 @@
+//! A pooled encode arena: many messages, one allocation.
+//!
+//! The wire codecs in this workspace historically built every outgoing
+//! message as its own `BytesMut` and froze it — two heap allocations
+//! per message (the builder's `Vec` and the `Arc` made by `freeze`),
+//! per delivery, per node, per tick. [`EncodeArena`] replaces that with
+//! a single growable chunk per owner: callers stage one or more
+//! encoded messages into the open chunk ([`EncodeArena::mark`] /
+//! [`EncodeArena::buf`]), then [`EncodeArena::seal`] freezes the whole
+//! chunk into one shared [`Bytes`] allocation and hands back cheap
+//! zero-copy slices.
+//!
+//! Sealed chunks are tracked in a small *retired* ring; once every
+//! outstanding slice of a chunk has been dropped (the arena holds the
+//! only reference), its `Vec` is reclaimed into a free list and the
+//! next chunk starts with warm capacity — steady state needs one
+//! `Arc` allocation per seal and no buffer allocations at all.
+//!
+//! The arena is a host-side optimization only: it produces bit-for-bit
+//! the same byte sequences as the per-message builders it replaces,
+//! and the [`telemetry`] counters (`allocs_saved`, `arena_bytes`) make
+//! the saving observable without touching simulated time.
+
+use crate::{telemetry, Bytes};
+use std::sync::Arc;
+
+/// Free-list depth: reclaimed chunk buffers kept warm for reuse.
+const FREE_CAP: usize = 8;
+/// Retired-ring depth: sealed chunks watched for reclamation. Chunks
+/// that retire past this bound are simply freed by their last consumer
+/// instead of being recycled — correctness is unaffected.
+const RETIRED_CAP: usize = 64;
+
+/// A per-owner scratch buffer that encodes many messages into one
+/// shared allocation.
+///
+/// # Example
+///
+/// ```
+/// use bytes::arena::EncodeArena;
+/// use bytes::BufMut;
+///
+/// let mut arena = EncodeArena::new();
+/// // Stage two messages into the open chunk.
+/// let a = arena.mark();
+/// arena.buf().put_slice(b"first");
+/// let a_end = arena.len();
+/// let b = arena.mark();
+/// arena.buf().put_slice(b"second");
+/// let b_end = arena.len();
+/// // One allocation for both; slices share it.
+/// let chunk = arena.seal();
+/// assert_eq!(&chunk.slice(a..a_end)[..], b"first");
+/// assert_eq!(&chunk.slice(b..b_end)[..], b"second");
+/// ```
+#[derive(Debug, Default)]
+pub struct EncodeArena {
+    /// The chunk currently being written.
+    open: Vec<u8>,
+    /// Messages staged into `open` since the last seal.
+    staged: usize,
+    /// Whether `open` came off the free list (its buffer allocation is
+    /// being reused rather than freshly made).
+    open_recycled: bool,
+    /// Reclaimed buffers awaiting reuse.
+    free: Vec<Vec<u8>>,
+    /// Sealed chunks still (possibly) referenced by consumers.
+    retired: Vec<Bytes>,
+}
+
+impl EncodeArena {
+    /// Creates an empty arena. No allocation happens until the first
+    /// message is staged.
+    pub fn new() -> EncodeArena {
+        EncodeArena::default()
+    }
+
+    /// Begins staging a message; returns its start offset in the open
+    /// chunk. Pair with [`EncodeArena::len`] after writing to obtain
+    /// the `(start, end)` range to slice out of the sealed chunk.
+    pub fn mark(&mut self) -> usize {
+        self.staged += 1;
+        self.open.len()
+    }
+
+    /// The write cursor: current length of the open chunk.
+    pub fn len(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Whether the open chunk has no staged bytes.
+    pub fn is_empty(&self) -> bool {
+        self.open.is_empty()
+    }
+
+    /// The open chunk as a write target. `Vec<u8>` implements
+    /// [`BufMut`](crate::BufMut), so wire encoders can write to it
+    /// directly.
+    pub fn buf(&mut self) -> &mut Vec<u8> {
+        &mut self.open
+    }
+
+    /// Aborts the message staged at `mark`, rolling the open chunk
+    /// back to that offset.
+    pub fn truncate(&mut self, mark: usize) {
+        self.open.truncate(mark);
+        self.staged = self.staged.saturating_sub(1);
+    }
+
+    /// Freezes everything staged since the last seal into one shared
+    /// [`Bytes`] chunk and returns it; callers slice their recorded
+    /// `(start, end)` ranges out of it. Returns an empty `Bytes` when
+    /// nothing was staged.
+    ///
+    /// Credits the [`telemetry`] counters: `arena_bytes` gains the
+    /// sealed length, and `allocs_saved` gains the difference between
+    /// the two-allocations-per-message cost of the per-message builder
+    /// path and what the seal actually spent (one `Arc`, plus one
+    /// buffer unless a reclaimed one was reused).
+    pub fn seal(&mut self) -> Bytes {
+        if self.open.is_empty() {
+            self.staged = 0;
+            return Bytes::new();
+        }
+        // Sweep first so a buffer freed since the last seal can serve
+        // as the next open chunk right away.
+        self.reclaim();
+        let staged = std::mem::take(&mut self.staged);
+        let recycled = self.open_recycled;
+        let next = self.free.pop();
+        self.open_recycled = next.is_some();
+        let chunk_vec = std::mem::replace(&mut self.open, next.unwrap_or_default());
+        telemetry::count_arena_bytes(chunk_vec.len());
+        // Legacy cost: 2 allocations per message (builder Vec + freeze
+        // Arc). Arena cost: 1 Arc here, plus 1 Vec unless recycled.
+        let spent = 1 + usize::from(!recycled);
+        let saved = (2 * staged).saturating_sub(spent);
+        if saved > 0 {
+            telemetry::count_allocs_saved(saved);
+        }
+        let chunk = Bytes::from(chunk_vec);
+        if self.retired.len() >= RETIRED_CAP {
+            // A ring full of still-referenced chunks (e.g. pinned as
+            // memo-cache keys that outlive the arena's horizon) must
+            // not permanently block recycling: rotate the oldest watch
+            // out. Its buffer is simply freed by its last consumer
+            // instead of recycled — correctness is unaffected.
+            self.retired.remove(0);
+        }
+        self.retired.push(chunk.clone());
+        chunk
+    }
+
+    /// Stages one message via `write`, seals, and returns exactly that
+    /// message's bytes. Convenience for owners that emit one message
+    /// at a time; note the seal covers *everything* staged, so don't
+    /// interleave this with an open [`EncodeArena::mark`] batch.
+    pub fn encode_with(&mut self, write: impl FnOnce(&mut Vec<u8>)) -> Bytes {
+        let mark = self.mark();
+        write(&mut self.open);
+        let chunk = self.seal();
+        if mark == 0 {
+            chunk
+        } else {
+            chunk.slice(mark..)
+        }
+    }
+
+    /// Moves retired chunks whose consumers have all dropped their
+    /// slices back onto the free list.
+    fn reclaim(&mut self) {
+        let mut i = 0;
+        while i < self.retired.len() {
+            if Arc::strong_count(&self.retired[i].data) == 1 {
+                let chunk = self.retired.swap_remove(i);
+                if self.free.len() < FREE_CAP {
+                    if let Ok(mut vec) = Arc::try_unwrap(chunk.data) {
+                        vec.clear();
+                        self.free.push(vec);
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Buffers currently available for reuse (test/telemetry hook).
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Sealed chunks still watched for reclamation (test/telemetry
+    /// hook).
+    pub fn retired_chunks(&self) -> usize {
+        self.retired.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BufMut;
+
+    #[test]
+    fn seal_returns_staged_bytes_and_slices_share() {
+        let mut arena = EncodeArena::new();
+        let a = arena.mark();
+        arena.buf().put_slice(b"alpha");
+        let a_end = arena.len();
+        let b = arena.mark();
+        arena.buf().put_u16(0xbeef);
+        let b_end = arena.len();
+        let chunk = arena.seal();
+        assert_eq!(&chunk.slice(a..a_end)[..], b"alpha");
+        assert_eq!(&chunk.slice(b..b_end)[..], &[0xbe, 0xef]);
+        assert_eq!(chunk.len(), 7);
+        // The slices share the chunk's allocation.
+        assert_eq!(chunk.slice(a..a_end).as_ptr(), chunk.as_ptr());
+    }
+
+    #[test]
+    fn empty_seal_is_free_and_truncate_aborts() {
+        let mut arena = EncodeArena::new();
+        assert!(arena.seal().is_empty());
+        let m = arena.mark();
+        arena.buf().put_slice(b"oops");
+        arena.truncate(m);
+        assert!(arena.is_empty());
+        assert!(arena.seal().is_empty());
+    }
+
+    #[test]
+    fn buffers_are_reclaimed_once_consumers_drop() {
+        let mut arena = EncodeArena::new();
+        let chunk = arena.encode_with(|b| b.put_slice(b"recycle-me"));
+        assert_eq!(&chunk[..], b"recycle-me");
+        assert_eq!(arena.retired_chunks(), 1);
+        drop(chunk);
+        // Next seal sweeps the retired ring and reuses the buffer.
+        let chunk2 = arena.encode_with(|b| b.put_slice(b"warm"));
+        assert_eq!(&chunk2[..], b"warm");
+        assert!(arena.free_buffers() <= FREE_CAP);
+        drop(chunk2);
+        let before = telemetry::allocs_saved();
+        let chunk3 = arena.encode_with(|b| b.put_slice(b"warm2"));
+        // Single message on a recycled buffer: 2 legacy allocs vs 1
+        // Arc — one allocation saved.
+        assert_eq!(telemetry::allocs_saved(), before + 1);
+        drop(chunk3);
+    }
+
+    /// Long-lived consumers (a memo cache holding chunk slices as
+    /// keys) must not wedge the retired ring: once it is full, the
+    /// oldest watch rotates out and fresh short-lived chunks keep
+    /// getting reclaimed.
+    #[test]
+    fn pinned_chunks_do_not_block_recycling() {
+        let mut arena = EncodeArena::new();
+        let pinned: Vec<Bytes> = (0..RETIRED_CAP)
+            .map(|i| arena.encode_with(|b| b.put_slice(&[i as u8; 16])))
+            .collect();
+        assert_eq!(arena.retired_chunks(), RETIRED_CAP);
+        // A short-lived chunk sealed while the ring is saturated…
+        drop(arena.encode_with(|b| b.put_slice(b"ephemeral")));
+        // …is still watched (the oldest pinned chunk rotated out), so
+        // the next seal reclaims its buffer and reuses it as the open
+        // chunk right away.
+        drop(arena.encode_with(|b| b.put_slice(b"ephemeral2")));
+        let before = telemetry::allocs_saved();
+        drop(arena.encode_with(|b| b.put_slice(b"ephemeral3")));
+        // Recycled buffer: 2 legacy allocs vs 1 Arc — one saved. A
+        // wedged ring would have spent a fresh buffer (0 saved).
+        assert_eq!(
+            telemetry::allocs_saved(),
+            before + 1,
+            "short-lived chunks must keep recycling past a pinned ring"
+        );
+        drop(pinned);
+    }
+
+    #[test]
+    fn telemetry_counts_sealed_bytes_and_batch_savings() {
+        let mut arena = EncodeArena::new();
+        let bytes_before = telemetry::arena_bytes();
+        let allocs_before = telemetry::allocs_saved();
+        for _ in 0..3 {
+            arena.mark();
+            arena.buf().put_slice(&[7u8; 10]);
+        }
+        let chunk = arena.seal();
+        assert_eq!(chunk.len(), 30);
+        assert_eq!(telemetry::arena_bytes(), bytes_before + 30);
+        // 3 messages: legacy 6 allocs, arena spent 2 (cold buffer +
+        // Arc) → 4 saved.
+        assert_eq!(telemetry::allocs_saved(), allocs_before + 4);
+    }
+
+    #[test]
+    fn encode_with_isolates_message_even_after_prior_seal() {
+        let mut arena = EncodeArena::new();
+        let first = arena.encode_with(|b| b.put_slice(b"one"));
+        let second = arena.encode_with(|b| b.put_slice(b"two"));
+        assert_eq!(&first[..], b"one");
+        assert_eq!(&second[..], b"two");
+    }
+}

@@ -27,6 +27,8 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+pub mod arena;
+
 pub mod telemetry {
     //! Thread-local accounting of payload bytes *copied* into new
     //! [`Bytes`](super::Bytes) allocations (zero-copy constructions —
@@ -37,6 +39,8 @@ pub mod telemetry {
     thread_local! {
         static COPIED: Cell<u64> = const { Cell::new(0) };
         static SAVED: Cell<u64> = const { Cell::new(0) };
+        static ALLOCS_SAVED: Cell<u64> = const { Cell::new(0) };
+        static ARENA_BYTES: Cell<u64> = const { Cell::new(0) };
     }
 
     pub(crate) fn count_copied(bytes: usize) {
@@ -62,6 +66,31 @@ pub mod telemetry {
     /// [`count_saved`]). Monotone, like [`bytes_copied`].
     pub fn bytes_saved() -> u64 {
         SAVED.with(Cell::get)
+    }
+
+    /// Records `count` heap allocations *avoided* at a call site that
+    /// used to allocate per message and now reuses pooled storage (an
+    /// [`arena`](super::arena) chunk, a borrowed view, a recycled
+    /// scratch vector). As with [`count_saved`], instrumented call
+    /// sites declare the saving explicitly.
+    pub fn count_allocs_saved(count: usize) {
+        ALLOCS_SAVED.with(|c| c.set(c.get() + count as u64));
+    }
+
+    /// Total heap allocations this thread has avoided (per
+    /// [`count_allocs_saved`]). Monotone, like [`bytes_copied`].
+    pub fn allocs_saved() -> u64 {
+        ALLOCS_SAVED.with(Cell::get)
+    }
+
+    pub(crate) fn count_arena_bytes(bytes: usize) {
+        ARENA_BYTES.with(|c| c.set(c.get() + bytes as u64));
+    }
+
+    /// Total bytes sealed out of [`arena::EncodeArena`](super::arena)
+    /// chunks on this thread. Monotone, like [`bytes_copied`].
+    pub fn arena_bytes() -> u64 {
+        ARENA_BYTES.with(Cell::get)
     }
 }
 
@@ -177,6 +206,16 @@ impl Deref for Bytes {
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// `Borrow<[u8]>` lets hash maps keyed by `Bytes` be probed with a
+/// plain `&[u8]` — no owned copy needed for the lookup. Sound because
+/// `Eq`, `Ord`, and `Hash` all operate on the viewed slice (see the
+/// impls above), exactly as `[u8]`'s own do.
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
         self
     }
 }
